@@ -1,0 +1,189 @@
+// Command oktopk-bench regenerates the paper's tables and figures on the
+// simulated cluster. Each experiment id corresponds to one table or
+// figure of the evaluation section (run `oktopk-bench list`):
+//
+//	oktopk-bench table1
+//	oktopk-bench fig8
+//	oktopk-bench -full all
+//
+// The default scale finishes in minutes on a laptop; -full uses the
+// paper's cluster sizes and longer runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var full = flag.Bool("full", false, "run at the paper's cluster sizes (slower)")
+
+type experiment struct {
+	id, desc string
+	run      func()
+}
+
+func out() *os.File { return os.Stdout }
+
+func experimentsList() []experiment {
+	// Scale presets: quick keeps every run under ~1 minute; full uses
+	// the paper's worker counts.
+	type scale struct {
+		table1Ps  []int
+		fig7Ps    []int
+		weakPs    map[string][]int
+		weakIters int
+		convIters int
+		convP     int
+		bertP     int
+	}
+	sc := scale{
+		table1Ps:  []int{8, 16, 32},
+		fig7Ps:    []int{16, 32, 64},
+		weakPs:    map[string][]int{"VGG": {8, 16}, "LSTM": {8, 16}, "BERT": {8, 16, 32}},
+		weakIters: 10,
+		convIters: 120,
+		convP:     4,
+		bertP:     8,
+	}
+	if *full {
+		sc = scale{
+			table1Ps:  []int{16, 64, 128},
+			fig7Ps:    []int{16, 32, 64},
+			weakPs:    map[string][]int{"VGG": {16, 32}, "LSTM": {32, 64}, "BERT": {32, 64, 256}},
+			weakIters: 12,
+			convIters: 400,
+			convP:     16,
+			bertP:     32,
+		}
+	}
+
+	weak := func(workload string, density float64, batches map[int]int) func() {
+		return func() {
+			for _, p := range sc.weakPs[workload] {
+				batch := batches[p]
+				if batch == 0 {
+					batch = 4
+				}
+				bs := experiments.WeakScaling(workload, p, batch, sc.weakIters, density, nil)
+				experiments.PrintBreakdowns(out(),
+					fmt.Sprintf("%s weak scaling, P=%d, density=%.1f%% (runtime/iteration breakdown)",
+						workload, p, density*100), bs)
+			}
+		}
+	}
+	conv := func(workload string, density float64, algos []string) func() {
+		return func() {
+			curves := experiments.Convergence(experiments.ConvergenceConfig{
+				Workload:   workload,
+				Algorithms: algos,
+				P:          sc.convP,
+				Batch:      4,
+				Iters:      sc.convIters,
+				EvalEvery:  sc.convIters / 8,
+				Density:    density,
+			})
+			experiments.PrintCurves(out(),
+				fmt.Sprintf("%s convergence vs modeled training time (P=%d, density=%.1f%%)",
+					workload, sc.convP, density*100), curves)
+		}
+	}
+
+	return []experiment{
+		{"table1", "communication volume model vs measured", func() {
+			experiments.Table1(out(), sc.table1Ps, 1000000, 10000)
+		}},
+		{"table2", "model inventory", func() { experiments.Table2(out()) }},
+		{"fig4", "gradient distribution and threshold prediction (3 panels)", func() {
+			for _, p := range []struct {
+				wl string
+				d  float64
+			}{{"VGG", 0.01}, {"LSTM", 0.02}, {"BERT", 0.01}} {
+				experiments.Figure4(p.wl, p.d, 8, 30).Print(out())
+			}
+		}},
+		{"fig5", "empirical xi of Assumption 1 (3 panels)", func() {
+			for _, wl := range []string{"VGG", "LSTM", "BERT"} {
+				experiments.Figure5(wl, []float64{0.01, 0.02}, 4, 32, 4).Print(out())
+			}
+		}},
+		{"fig6", "top-k selection counts vs accurate vs Gaussiank (3 panels)", func() {
+			experiments.Figure6("VGG", 0.01, 4, 32, 4, 8).Print(out())
+			experiments.Figure6("LSTM", 0.02, 4, 32, 4, 8).Print(out())
+			experiments.Figure6("BERT", 0.01, 4, 32, 4, 16).Print(out())
+		}},
+		{"fillin", "TopkDSA output-density expansion (§5.2)", func() {
+			experiments.FillIn("VGG", 0.01, 16, 6).Print(out())
+			experiments.FillIn("LSTM", 0.02, 16, 6).Print(out())
+		}},
+		{"fig7", "load-balancing speedups", func() {
+			experiments.PrintFigure7(out(), experiments.Figure7(sc.fig7Ps, 200000, 0.01))
+		}},
+		// Weak scaling holds the local batch constant (the paper's
+		// global batch grows ∝P): VGG 16/GPU, LSTM 2/GPU, BERT 8/GPU.
+		{"fig8", "VGG weak scaling breakdown", weak("VGG", 0.02, map[int]int{8: 16, 16: 16, 32: 16})},
+		{"fig9", "VGG accuracy vs training time", conv("VGG", 0.02,
+			[]string{"DenseOvlp", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"})},
+		{"fig10", "LSTM weak scaling breakdown", weak("LSTM", 0.02, map[int]int{8: 2, 16: 2, 32: 2, 64: 2})},
+		{"fig11", "LSTM WER vs training time", conv("LSTM", 0.02,
+			[]string{"DenseOvlp", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"})},
+		{"fig12", "BERT weak scaling breakdown + parallel efficiency", func() {
+			weak("BERT", 0.01, map[int]int{8: 8, 16: 8, 32: 8, 64: 8, 256: 8})()
+			ps := sc.weakPs["BERT"]
+			eff := experiments.ParallelEfficiency("BERT", ps[0], ps[len(ps)-1], 4, sc.weakIters, 0.01)
+			fmt.Fprintf(out(), "OkTopk weak-scaling parallel efficiency %d→%d workers: %.1f%%\n",
+				ps[0], ps[len(ps)-1], eff*100)
+		}},
+		{"fig13", "BERT pre-training loss vs time", func() {
+			curves := experiments.Convergence(experiments.ConvergenceConfig{
+				Workload:   "BERT",
+				Algorithms: []string{"DenseOvlp", "Gaussiank", "OkTopk"},
+				P:          sc.bertP,
+				Batch:      4,
+				Iters:      sc.convIters,
+				EvalEvery:  sc.convIters / 8,
+				Density:    0.01,
+			})
+			experiments.PrintCurves(out(),
+				fmt.Sprintf("BERT pre-training loss vs modeled time (P=%d, density=1.0%%)", sc.bertP), curves)
+		}},
+	}
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: oktopk-bench [-full] <experiment id>|all|list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exps := experimentsList()
+	id := flag.Arg(0)
+	switch id {
+	case "list":
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	case "all":
+		for _, e := range exps {
+			fmt.Printf("=== %s: %s ===\n", e.id, e.desc)
+			e.run()
+			fmt.Println()
+		}
+		return
+	}
+	for _, e := range exps {
+		if e.id == id {
+			e.run()
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q (try `oktopk-bench list`)\n", id)
+	os.Exit(2)
+}

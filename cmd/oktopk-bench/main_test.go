@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestExperimentIDsComplete: every table and figure of the paper has a
+// registered experiment.
+func TestExperimentIDsComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fillin",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	got := map[string]bool{}
+	for _, e := range experimentsList() {
+		got[e.id] = true
+		if e.desc == "" || e.run == nil {
+			t.Errorf("experiment %q incomplete", e.id)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected experiment count %d, want %d", len(got), len(want))
+	}
+}
+
+// TestFullFlagChangesScale: -full must select the paper's cluster sizes.
+func TestFullFlagChangesScale(t *testing.T) {
+	old := *full
+	defer func() { *full = old }()
+	*full = false
+	quick := experimentsList()
+	*full = true
+	fullList := experimentsList()
+	if len(quick) != len(fullList) {
+		t.Fatalf("experiment sets differ between scales")
+	}
+}
+
+// TestTable2Runs executes the cheapest experiment end to end, capturing
+// stdout.
+func TestTable2Runs(t *testing.T) {
+	var found func()
+	for _, e := range experimentsList() {
+		if e.id == "table2" {
+			found = e.run
+		}
+	}
+	if found == nil {
+		t.Fatal("table2 not registered")
+	}
+	// Capture stdout around the run.
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = wr
+	found()
+	wr.Close()
+	os.Stdout = orig
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(rd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("VGG-16")) {
+		t.Errorf("table2 output missing model rows:\n%s", buf.String())
+	}
+}

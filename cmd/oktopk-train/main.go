@@ -1,0 +1,81 @@
+// Command oktopk-train runs one distributed training session on the
+// simulated cluster and reports loss, metric and the per-phase runtime
+// breakdown:
+//
+//	oktopk-train -workload VGG -algo OkTopk -p 16 -iters 200 -density 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/allreduce"
+	"repro/internal/netmodel"
+	"repro/internal/train"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "VGG", "VGG | LSTM | BERT")
+		algo      = flag.String("algo", "OkTopk", "Dense | DenseOvlp | TopkA | TopkDSA | gTopk | Gaussiank | OkTopk")
+		p         = flag.Int("p", 8, "number of workers")
+		batch     = flag.Int("batch", 4, "per-worker batch size")
+		iters     = flag.Int("iters", 100, "training iterations")
+		density   = flag.Float64("density", 0.02, "k/n")
+		lr        = flag.Float64("lr", 0, "learning rate (0 = workload default)")
+		tau       = flag.Int("tau", 64, "space repartition period τ")
+		tauPrime  = flag.Int("tauprime", 32, "threshold re-evaluation period τ′")
+		adam      = flag.Bool("adam", false, "use Adam on raw gradients (paper's BERT setup)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		evalEvery = flag.Int("eval", 20, "evaluate every N iterations")
+		commodity = flag.Bool("commodity", false, "use commodity-cloud network constants")
+	)
+	flag.Parse()
+
+	cfg := train.Config{
+		Workload:  *workload,
+		Algorithm: *algo,
+		P:         *p,
+		Batch:     *batch,
+		Seed:      *seed,
+		LR:        *lr,
+		Adam:      *adam || *workload == "BERT",
+		Reduce: allreduce.Config{
+			Density: *density, Tau: *tau, TauPrime: *tauPrime,
+		},
+	}
+	if cfg.LR == 0 {
+		switch *workload {
+		case "VGG":
+			cfg.LR = 0.03
+		case "LSTM":
+			cfg.LR = 0.3
+		case "BERT":
+			cfg.LR = 1e-3
+		}
+	}
+	if *commodity {
+		cfg.Net = netmodel.Commodity()
+	}
+	s := train.NewSession(cfg)
+	fmt.Printf("training %s with %s on %d workers (n=%d, k=%d, batch=%d/worker)\n",
+		*workload, *algo, *p, s.N(), cfg.Reduce.KFor(s.N()), *batch)
+
+	var elapsed float64
+	for it := 1; it <= *iters; it++ {
+		st := s.RunIteration()
+		elapsed += st.IterSeconds
+		if it%*evalEvery == 0 || it == *iters {
+			metric := s.Evaluate(200)
+			fmt.Printf("iter %5d  modeled-time %8.2fs  loss %7.4f  %s %.4f  "+
+				"[comp %.3fs spars %.3fs comm %.3fs]\n",
+				it, elapsed, st.Loss, s.MetricName(), metric,
+				st.Phase[0], st.Phase[1], st.Phase[2])
+		}
+	}
+	if d := s.ReplicaDivergence(); d != 0 {
+		fmt.Fprintf(os.Stderr, "WARNING: replicas diverged by %v\n", d)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+// Package repro is a from-scratch Go reproduction of "Near-Optimal
+// Sparse Allreduce for Distributed Deep Learning" (Li & Hoefler, PPoPP
+// 2022): the Ok-Topk O(k) sparse allreduce and SGD scheme, the four
+// sparse-allreduce baselines it is evaluated against, and the full
+// substrate needed to regenerate every table and figure of the paper's
+// evaluation — an in-process message-passing cluster runtime with an
+// α-β/LogGP network cost model, dense collectives, a pure-Go neural
+// network library with manual backprop, synthetic stand-ins for the
+// paper's datasets, and a distributed training loop.
+//
+// Layout:
+//
+//	internal/core        the paper's contribution (O(k) sparse allreduce)
+//	internal/sparsecoll  baselines: TopkA, TopkDSA, gTopk, Gaussiank
+//	internal/allreduce   shared algorithm interface + dense baselines
+//	internal/collectives dense collective algorithms
+//	internal/cluster     P-worker message-passing runtime (MPI stand-in)
+//	internal/netmodel    α-β cost model and phase-attributed clocks
+//	internal/topk        selection strategies and threshold reuse
+//	internal/sparse      COO sparse vectors
+//	internal/nn          layers and the three workload models
+//	internal/data        synthetic Cifar/AN4/Wikipedia stand-ins
+//	internal/train       distributed training sessions
+//	internal/experiments one runner per paper table/figure
+//	cmd/oktopk-bench     regenerate any experiment by id
+//	cmd/oktopk-train     run one training configuration
+//	examples/            runnable walk-throughs of the public API
+//
+// The benchmarks in bench_test.go regenerate each table/figure regime
+// under `go test -bench`; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,50 @@
+// Speech recognition example: the LSTM workload with its WER-like
+// sequence-error metric, comparing three sparse allreduce schemes at the
+// same density — a miniature of the paper's Figure 11 plus the §5.2
+// fill-in statistic for TopkDSA.
+//
+//	go run ./examples/speech_lstm
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/allreduce"
+	"repro/internal/sparsecoll"
+	"repro/internal/train"
+)
+
+func main() {
+	const (
+		workers = 8
+		batch   = 2
+		iters   = 150
+		density = 0.02
+	)
+	for _, algo := range []string{"TopkA", "TopkDSA", "OkTopk"} {
+		cfg := train.Config{
+			Workload:  "LSTM",
+			Algorithm: algo,
+			P:         workers,
+			Batch:     batch,
+			Seed:      3,
+			LR:        0.3,
+			Reduce:    allreduce.Config{Density: density, Tau: 64, TauPrime: 32},
+		}
+		s := train.NewSession(cfg)
+		var elapsed float64
+		var commTime float64
+		for it := 1; it <= iters; it++ {
+			st := s.RunIteration()
+			elapsed += st.IterSeconds
+			commTime += st.Phase[2]
+		}
+		wer := s.Evaluate(400)
+		fmt.Printf("%-9s  WER %.3f  modeled total %7.1fs  (comm %6.1fs)\n",
+			algo, wer, elapsed, commTime)
+		if dsa, okCast := s.Trainers[0].Algo.(*sparsecoll.TopkDSA); okCast {
+			fmt.Printf("           TopkDSA fill-in: output density %.1f%% from %.1f%% input\n",
+				dsa.MeanFillDensity()*100, density*100)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package allreduce defines the common interface all gradient-reduction
+// algorithms implement — the two dense baselines (Dense, DenseOvlp), the
+// four sparse baselines in internal/sparsecoll (TopkA, TopkDSA, gTopk,
+// Gaussiank) and the paper's contribution in internal/core (Ok-Topk) —
+// plus the shared configuration and sparsification cost accounting.
+//
+// An Algorithm instance is per-worker state (thresholds, residual-free
+// controllers, region boundaries); the distributed training loop creates
+// one instance per rank and calls Reduce collectively each iteration.
+package allreduce
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/collectives"
+	"repro/internal/netmodel"
+	"repro/internal/tensor"
+)
+
+// Result is the outcome of one collective gradient reduction.
+type Result struct {
+	// Update is the dense sum over workers of the (selected) gradient
+	// contributions. The SGD step applies Update/P.
+	Update []float64
+	// Contributed lists the local indexes of acc that made it into
+	// Update; the optimizer zeroes exactly these in the residual
+	// (Algorithm 2 line 6). Ignored when All is true.
+	Contributed []int32
+	// All marks dense semantics: every index contributed, residuals are
+	// always empty.
+	All bool
+	// LocalK and GlobalK count the locally selected values and the
+	// values present in Update, feeding the Figure-6 accounting.
+	LocalK, GlobalK int
+}
+
+// Algorithm is a collective gradient reduction. Reduce must be called by
+// all ranks of the communicator with the same iteration number t
+// (1-based); it is a collective operation.
+type Algorithm interface {
+	Name() string
+	// OverlapsBackward reports whether the implementation overlaps its
+	// communication with backward computation (DenseOvlp); the training
+	// loop discounts exposed communication time accordingly.
+	OverlapsBackward() bool
+	Reduce(cm cluster.Endpoint, acc []float64, t int) Result
+}
+
+// Config carries the knobs shared by the sparse algorithms. Zero values
+// are replaced by the paper's defaults via Defaults.
+type Config struct {
+	// Density is k/n; K overrides it when nonzero.
+	Density float64
+	K       int
+	// TauPrime is the threshold re-evaluation period τ′ (§3.1.3).
+	TauPrime int
+	// Tau is the space-repartition period τ (§3.1.1).
+	Tau int
+	// BucketSize is the number of simultaneous non-blocking transfers in
+	// the split-and-reduce phase (§3.1.1, Figure 2c).
+	BucketSize int
+	// Rotation enables destination rotation (Figure 2b); disabling it
+	// reproduces the endpoint-congested naive pattern for ablations.
+	Rotation bool
+	// Repartition enables balanced space repartition; disabling it uses
+	// equal-size regions ("naive reduce" in Figure 7a).
+	Repartition bool
+	// DataBalance enables the conditional balancing step before the
+	// final allgatherv (§3.1.2); disabling reproduces "direct
+	// allgatherv" in Figure 7b.
+	DataBalance bool
+	// BalanceTrigger is the max/avg size ratio above which balancing
+	// runs (the paper uses 4).
+	BalanceTrigger float64
+	// DenseBuckets is the number of gradient buckets DenseOvlp pipelines.
+	DenseBuckets int
+	// QuantBits, when nonzero (2..8), enables the quantization extension
+	// in Ok-Topk: sparse values travel as QuantBits-bit stochastic
+	// levels (indexes stay exact), shrinking the value half of the wire
+	// volume by 64/QuantBits. 0 disables quantization (the paper's
+	// evaluated configuration).
+	QuantBits int
+	// SortFlops and ScanFlops are the modeled per-element costs (in
+	// flop-equivalents) of sort-based top-k selection and of an O(n)
+	// threshold scan. Sort-based selection on GPUs is memory-bound and
+	// slow — the paper's motivation for threshold reuse — so SortFlops
+	// is two to three orders of magnitude larger than ScanFlops.
+	SortFlops float64
+	ScanFlops float64
+}
+
+// Defaults fills unset fields with the paper's values.
+func (c Config) Defaults() Config {
+	if c.Density == 0 && c.K == 0 {
+		c.Density = 0.01
+	}
+	if c.TauPrime == 0 {
+		c.TauPrime = 32
+	}
+	if c.Tau == 0 {
+		c.Tau = 64
+	}
+	if c.BucketSize == 0 {
+		c.BucketSize = 8
+	}
+	if c.BalanceTrigger == 0 {
+		c.BalanceTrigger = 4
+	}
+	if c.DenseBuckets == 0 {
+		c.DenseBuckets = 8
+	}
+	if c.SortFlops == 0 {
+		// Calibrated to torch.topk on a P100: ≈0.12 s for n=14.7M
+		// (Figure 8's TopkA sparsification bar) at γ=1e-12 s/flop.
+		c.SortFlops = 8000
+	}
+	if c.ScanFlops == 0 {
+		c.ScanFlops = 3
+	}
+	return c
+}
+
+// KFor resolves the target k for a gradient of n components.
+func (c Config) KFor(n int) int {
+	k := c.K
+	if k == 0 {
+		k = int(c.Density * float64(n))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// ChargeSort accounts an exact (sort-based) top-k selection over n
+// elements under the sparsification phase.
+func ChargeSort(cm cluster.Endpoint, cfg Config, n int) {
+	prev := cm.Clock().CurrentPhase()
+	cm.Clock().SetPhase(netmodel.PhaseSparsify)
+	cm.Clock().Compute(cfg.SortFlops * float64(n))
+	cm.Clock().SetPhase(prev)
+}
+
+// ChargeScan accounts an O(n) threshold scan under the sparsification
+// phase.
+func ChargeScan(cm cluster.Endpoint, cfg Config, n int) {
+	prev := cm.Clock().CurrentPhase()
+	cm.Clock().SetPhase(netmodel.PhaseSparsify)
+	cm.Clock().Compute(cfg.ScanFlops * float64(n))
+	cm.Clock().SetPhase(prev)
+}
+
+// Dense is the single-allreduce baseline: one Rabenseifner/ring allreduce
+// over the full aggregated gradient (2n(P−1)/P volume).
+type Dense struct{}
+
+// NewDense returns the dense baseline.
+func NewDense() *Dense { return &Dense{} }
+
+func (*Dense) Name() string           { return "Dense" }
+func (*Dense) OverlapsBackward() bool { return false }
+
+// Reduce sums acc across all ranks densely.
+func (*Dense) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
+	cm.Clock().SetPhase(netmodel.PhaseComm)
+	sum := tensor.Copy(acc)
+	collectives.Allreduce(cm, sum)
+	cm.Clock().SetPhase(netmodel.PhaseCompute)
+	return Result{Update: sum, All: true, LocalK: len(acc), GlobalK: len(acc)}
+}
+
+// DenseOvlp is the bucketed dense allreduce: the gradient is cut into
+// DenseBuckets chunks, each reduced by its own allreduce so that, in the
+// real system, bucket i's communication overlaps the backward computation
+// that produces bucket i+1. The training loop models that overlap by
+// discounting exposed communication (OverlapsBackward).
+type DenseOvlp struct {
+	cfg Config
+}
+
+// NewDenseOvlp returns the overlapped dense baseline.
+func NewDenseOvlp(cfg Config) *DenseOvlp { return &DenseOvlp{cfg: cfg.Defaults()} }
+
+func (*DenseOvlp) Name() string           { return "DenseOvlp" }
+func (*DenseOvlp) OverlapsBackward() bool { return true }
+
+// Reduce sums acc across all ranks with bucketed allreduces.
+func (d *DenseOvlp) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
+	cm.Clock().SetPhase(netmodel.PhaseComm)
+	sum := tensor.Copy(acc)
+	nb := d.cfg.DenseBuckets
+	if nb > len(sum) {
+		nb = len(sum)
+	}
+	for b := 0; b < nb; b++ {
+		lo := b * len(sum) / nb
+		hi := (b + 1) * len(sum) / nb
+		collectives.Allreduce(cm, sum[lo:hi])
+	}
+	cm.Clock().SetPhase(netmodel.PhaseCompute)
+	return Result{Update: sum, All: true, LocalK: len(acc), GlobalK: len(acc)}
+}

@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Checkpoint {
+	return &Checkpoint{
+		Workload:  "VGG",
+		Algorithm: "OkTopk",
+		Iteration: 42,
+		Ranks: []RankState{
+			{Params: []float64{1, 2}, Residual: []float64{0, 0.5}},
+			{Params: []float64{3, 4}, Residual: []float64{0.1, 0}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 42 || got.Workload != "VGG" || len(got.Ranks) != 2 {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	if got.Ranks[1].Params[1] != 4 || got.Ranks[0].Residual[1] != 0.5 {
+		t.Fatalf("round trip lost data")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := sample().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 42 {
+		t.Fatal("file round trip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadGarbageErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	bad := sample()
+	bad.Ranks[1].Params = []float64{1}
+	if bad.Validate() == nil {
+		t.Fatal("param size mismatch not detected")
+	}
+	bad2 := sample()
+	bad2.Ranks[0].Residual = nil
+	if bad2.Validate() == nil {
+		t.Fatal("residual size mismatch not detected")
+	}
+	bad3 := sample()
+	bad3.Ranks[0].AdamM = []float64{1, 2}
+	if bad3.Validate() == nil {
+		t.Fatal("partial Adam state not detected")
+	}
+	empty := &Checkpoint{}
+	if empty.Validate() == nil {
+		t.Fatal("empty checkpoint not detected")
+	}
+}

@@ -1,0 +1,285 @@
+// Package cluster is the in-process message-passing runtime that stands
+// in for MPI: P workers run as goroutines, each holding a Comm with its
+// rank and the cluster size. Comm provides eager tagged point-to-point
+// send/receive with MPI-like non-overtaking semantics (messages between
+// one (source, destination, tag) triple are received in send order),
+// non-blocking sends, barriers, and integration with the netmodel clocks
+// so every byte moved is costed under the α-β model.
+//
+// Mailboxes are unbounded, i.e. sends use the eager protocol and never
+// deadlock against a missing receive; this mirrors how the paper's
+// mpi4py implementation exchanges small sparse chunks.
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// Message is an in-flight point-to-point message.
+type Message struct {
+	Src    int
+	Tag    int
+	Data   any     // payload; receivers type-assert
+	Words  int     // accounted wire size in 8-byte words
+	Depart float64 // simulated departure time at the sender
+}
+
+// mailbox is one rank's inbox: a mutex-protected queue with conditional
+// matching on (source, tag).
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg *Message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take removes and returns the first queued message matching (src, tag),
+// blocking until one arrives.
+func (m *mailbox) take(src, tag int) *Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.Src == src && msg.Tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// barrier is a reusable sense-reversing barrier that also synchronizes
+// the simulated clocks: all ranks leave at max(arrival times) plus the
+// modeled dissemination cost of ⌈log₂P⌉ latency steps.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	maxTime float64
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait(t float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t > b.maxTime {
+		b.maxTime = t
+	}
+	b.count++
+	gen := b.gen
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	return b.maxTime
+}
+
+// Cluster owns the shared state of one P-worker run.
+type Cluster struct {
+	size     int
+	boxes    []*mailbox
+	barrier  *barrier
+	clocks   []*netmodel.Clock
+	recorder *trace.Recorder
+}
+
+// SetRecorder attaches a trace recorder; every subsequent send and
+// delivery is recorded. Pass nil to disable.
+func (c *Cluster) SetRecorder(r *trace.Recorder) { c.recorder = r }
+
+// New creates a cluster of the given size with per-rank clocks using the
+// supplied cost parameters.
+func New(size int, params netmodel.Params) *Cluster {
+	if size <= 0 {
+		panic("cluster: size must be positive")
+	}
+	c := &Cluster{size: size, barrier: newBarrier(size)}
+	c.boxes = make([]*mailbox, size)
+	c.clocks = make([]*netmodel.Clock, size)
+	for i := range c.boxes {
+		c.boxes[i] = newMailbox()
+		c.clocks[i] = netmodel.NewClock(params)
+	}
+	return c
+}
+
+// Size returns the number of workers.
+func (c *Cluster) Size() int { return c.size }
+
+// Comm returns the communicator for the given rank. Typically only Run
+// needs this, but tests drive individual ranks directly.
+func (c *Cluster) Comm(rank int) *Comm {
+	if rank < 0 || rank >= c.size {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, c.size))
+	}
+	return &Comm{cluster: c, rank: rank, clock: c.clocks[rank]}
+}
+
+// Stats returns the per-rank clock snapshots after (or during) a run.
+func (c *Cluster) Stats() []netmodel.Stats {
+	out := make([]netmodel.Stats, c.size)
+	for i, cl := range c.clocks {
+		out[i] = cl.Snapshot()
+	}
+	return out
+}
+
+// ResetClocks zeroes all clocks, keeping parameters; used between
+// measured iterations.
+func (c *Cluster) ResetClocks() {
+	for _, cl := range c.clocks {
+		cl.Reset()
+	}
+}
+
+// Run executes body once per rank, each in its own goroutine, and waits
+// for all to finish. A panic in any worker is captured and re-panicked
+// on the caller with rank attribution; the first non-nil error is
+// returned.
+func (c *Cluster) Run(body func(comm *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, c.size)
+	panics := make([]any, c.size)
+	for r := 0; r < c.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			errs[rank] = body(c.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("cluster: rank %d panicked: %v", r, p))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Endpoint is the communicator surface the collective algorithms are
+// written against: a rank within a group, tagged point-to-point
+// messaging, a simulated clock, and group synchronization. *Comm (the
+// world communicator) and *Group (a sub-communicator) implement it.
+type Endpoint interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, data any, words int)
+	Recv(src, tag int) any
+	RecvFloat64(src, tag int) []float64
+	Clock() *netmodel.Clock
+	Barrier()
+	DrainSends()
+}
+
+// Comm is one rank's endpoint, analogous to an MPI communicator bound to
+// a rank. All methods must be called only from that rank's goroutine.
+type Comm struct {
+	cluster *Cluster
+	rank    int
+	clock   *netmodel.Clock
+}
+
+var _ Endpoint = (*Comm)(nil)
+
+// Rank returns this worker's rank in [0, Size).
+func (cm *Comm) Rank() int { return cm.rank }
+
+// Size returns the number of workers in the cluster.
+func (cm *Comm) Size() int { return cm.cluster.size }
+
+// Clock exposes the rank's simulated clock for phase switching and local
+// compute accounting.
+func (cm *Comm) Clock() *netmodel.Clock { return cm.clock }
+
+// Send transmits data of the given wire size (in words) to dst with the
+// tag. It is eager: the call never blocks on the receiver; the sender's
+// clock advances only to the NIC injection point.
+func (cm *Comm) Send(dst, tag int, data any, words int) {
+	if dst == cm.rank {
+		panic("cluster: send to self (use local buffers instead)")
+	}
+	depart := cm.clock.StampSend(words)
+	if rec := cm.cluster.recorder; rec != nil {
+		rec.Record(trace.Event{
+			Kind: trace.SendEvent, Rank: cm.rank, Peer: dst,
+			Tag: tag, Words: words, Time: depart,
+		})
+	}
+	cm.cluster.boxes[dst].put(&Message{
+		Src: cm.rank, Tag: tag, Data: data, Words: words, Depart: depart,
+	})
+}
+
+// Recv blocks until a message with the given source and tag arrives,
+// charges its delivery under the cost model, and returns the payload.
+func (cm *Comm) Recv(src, tag int) any {
+	if src == cm.rank {
+		panic("cluster: recv from self")
+	}
+	msg := cm.cluster.boxes[cm.rank].take(src, tag)
+	cm.clock.StampRecv(msg.Depart, msg.Words)
+	if rec := cm.cluster.recorder; rec != nil {
+		rec.Record(trace.Event{
+			Kind: trace.RecvEvent, Rank: cm.rank, Peer: src,
+			Tag: tag, Words: msg.Words, Time: cm.clock.Now(),
+		})
+	}
+	return msg.Data
+}
+
+// RecvFloat64 receives and type-asserts a []float64 payload.
+func (cm *Comm) RecvFloat64(src, tag int) []float64 {
+	return cm.Recv(src, tag).([]float64)
+}
+
+// Barrier synchronizes all ranks and their clocks, charging a
+// dissemination barrier's ⌈log₂P⌉ α cost.
+func (cm *Comm) Barrier() {
+	maxT := cm.cluster.barrier.wait(cm.clock.Now())
+	steps := bits.Len(uint(cm.cluster.size - 1))
+	cm.clock.AdvanceTo(maxT + float64(steps)*cm.clock.Params().Alpha)
+}
+
+// DrainSends waits for the send NIC to go idle (models MPI_Waitall on
+// outstanding isends).
+func (cm *Comm) DrainSends() { cm.clock.DrainSends() }

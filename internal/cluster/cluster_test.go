@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+func params() netmodel.Params { return netmodel.Params{Alpha: 1e-6, Beta: 1e-9} }
+
+func TestPingPong(t *testing.T) {
+	c := New(2, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			cm.Send(1, 7, []float64{1, 2, 3}, 3)
+			got := cm.RecvFloat64(1, 8)
+			if len(got) != 1 || got[0] != 42 {
+				t.Errorf("rank 0 got %v", got)
+			}
+		} else {
+			got := cm.RecvFloat64(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("rank 1 got %v", got)
+			}
+			cm.Send(0, 8, []float64{42}, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	// Messages with distinct tags are matched by tag even when they
+	// arrive out of request order.
+	c := New(2, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			cm.Send(1, 1, []float64{1}, 1)
+			cm.Send(1, 2, []float64{2}, 1)
+		} else {
+			// Receive tag 2 first.
+			b := cm.RecvFloat64(0, 2)
+			a := cm.RecvFloat64(0, 1)
+			if b[0] != 2 || a[0] != 1 {
+				t.Errorf("tag matching broken: %v %v", a, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	// Two messages on the same (src,dst,tag) stream must be received in
+	// send order.
+	c := New(2, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			cm.Send(1, 5, []float64{1}, 1)
+			cm.Send(1, 5, []float64{2}, 1)
+		} else {
+			first := cm.RecvFloat64(0, 5)
+			second := cm.RecvFloat64(0, 5)
+			if first[0] != 1 || second[0] != 2 {
+				t.Errorf("overtaking: %v %v", first, second)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	c := New(4, params())
+	times := make([]float64, 4)
+	err := c.Run(func(cm *Comm) error {
+		cm.Clock().Sleep(float64(cm.Rank()) * 1e-3)
+		cm.Barrier()
+		times[cm.Rank()] = cm.Clock().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if times[r] != times[0] {
+			t.Fatalf("barrier left clocks diverged: %v", times)
+		}
+	}
+	if times[0] <= 3e-3 {
+		t.Fatalf("barrier time %v must exceed slowest arrival", times[0])
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	c := New(3, params())
+	sentinel := errors.New("worker failed")
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRunPropagatesPanicWithRank(t *testing.T) {
+	c := New(2, params())
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(p.(string), "rank 1") {
+			t.Fatalf("panic lacks rank attribution: %v", p)
+		}
+	}()
+	_ = c.Run(func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	c := New(2, params())
+	cm := c.Comm(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cm.Send(0, 1, nil, 0)
+}
+
+func TestCommRankOutOfRangePanics(t *testing.T) {
+	c := New(2, params())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Comm(5)
+}
+
+func TestManyConcurrentMessages(t *testing.T) {
+	// Stress mailbox matching under contention: every pair exchanges
+	// many tagged messages.
+	const p = 8
+	const msgs = 50
+	c := New(p, params())
+	var total atomic.Int64
+	err := c.Run(func(cm *Comm) error {
+		for m := 0; m < msgs; m++ {
+			for dst := 0; dst < p; dst++ {
+				if dst != cm.Rank() {
+					cm.Send(dst, 100+m, []float64{float64(cm.Rank()*1000 + m)}, 1)
+				}
+			}
+		}
+		for m := 0; m < msgs; m++ {
+			for src := 0; src < p; src++ {
+				if src != cm.Rank() {
+					got := cm.RecvFloat64(src, 100+m)
+					if got[0] != float64(src*1000+m) {
+						t.Errorf("rank %d: bad payload from %d tag %d: %v", cm.Rank(), src, m, got)
+					}
+					total.Add(1)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != int64(p*(p-1)*msgs) {
+		t.Fatalf("received %d messages", total.Load())
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	c := New(2, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			cm.Send(1, 1, []float64{1, 2}, 2)
+		} else {
+			cm.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st[0].SentWords != 2 || st[1].RecvWords != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	c.ResetClocks()
+	st = c.Stats()
+	if st[0].SentWords != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, params())
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/netmodel"
+)
+
+// Group is a sub-communicator over a subset of world ranks, analogous to
+// an MPI communicator created from a group: ranks are renumbered
+// 0..len(ranks)-1, tags are shifted into a caller-chosen namespace so
+// concurrent groups never collide, and the barrier is a dissemination
+// barrier built from the group's own point-to-point messages (so its
+// cost is modeled faithfully rather than synchronized out-of-band).
+//
+// Groups are how the hybrid data+pipeline extension runs a gradient
+// allreduce across the replicas of one pipeline stage while other stages
+// communicate concurrently.
+type Group struct {
+	world    *Comm
+	ranks    []int // group rank → world rank
+	myRank   int   // rank within the group
+	tagShift int
+	barSeq   int
+}
+
+var _ Endpoint = (*Group)(nil)
+
+// NewGroup builds the sub-communicator containing the given world ranks
+// (which must include the caller's). tagSpace selects a disjoint tag
+// namespace; groups that may communicate concurrently must use different
+// spaces (e.g. the stage index).
+func NewGroup(world *Comm, ranks []int, tagSpace int) *Group {
+	g := &Group{world: world, ranks: append([]int(nil), ranks...), myRank: -1,
+		tagShift: (tagSpace + 1) << 24}
+	for i, r := range ranks {
+		if r == world.Rank() {
+			g.myRank = i
+		}
+		if r < 0 || r >= world.Size() {
+			panic(fmt.Sprintf("cluster: group rank %d out of world range", r))
+		}
+	}
+	if g.myRank < 0 {
+		panic("cluster: caller is not a member of the group")
+	}
+	return g
+}
+
+// Rank returns the caller's rank within the group.
+func (g *Group) Rank() int { return g.myRank }
+
+// Size returns the group size.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// WorldRank translates a group rank to the world rank.
+func (g *Group) WorldRank(r int) int { return g.ranks[r] }
+
+// Clock exposes the underlying rank's clock.
+func (g *Group) Clock() *netmodel.Clock { return g.world.Clock() }
+
+// Send transmits to a group rank.
+func (g *Group) Send(dst, tag int, data any, words int) {
+	g.world.Send(g.ranks[dst], tag+g.tagShift, data, words)
+}
+
+// Recv receives from a group rank.
+func (g *Group) Recv(src, tag int) any {
+	return g.world.Recv(g.ranks[src], tag + g.tagShift)
+}
+
+// RecvFloat64 receives and type-asserts a []float64 payload.
+func (g *Group) RecvFloat64(src, tag int) []float64 {
+	return g.Recv(src, tag).([]float64)
+}
+
+// DrainSends waits for the send NIC to go idle.
+func (g *Group) DrainSends() { g.world.DrainSends() }
+
+// Barrier synchronizes the group with a dissemination barrier: ⌈log₂S⌉
+// rounds of token exchanges within the group, all costed by the network
+// model. A sequence number keeps successive barriers' tokens apart.
+func (g *Group) Barrier() {
+	p := g.Size()
+	if p == 1 {
+		return
+	}
+	g.barSeq++
+	base := (13 << 20) + g.barSeq*64
+	steps := bits.Len(uint(p - 1))
+	for s := 0; s < steps; s++ {
+		dist := 1 << s
+		dst := (g.myRank + dist) % p
+		src := (g.myRank - dist + p) % p
+		g.Send(dst, base+s, nil, 1)
+		g.Recv(src, base+s)
+	}
+}

@@ -1,0 +1,375 @@
+// Package collectives implements the dense collective algorithms the
+// paper builds on and compares against, on top of the cluster runtime:
+//
+//   - Allreduce via Rabenseifner's algorithm (recursive-halving
+//     reduce-scatter followed by recursive-doubling allgather), which
+//     attains the 2n(P−1)/P bandwidth lower bound cited in Table 1, with
+//     a ring fallback for non-power-of-two P;
+//   - ring allreduce (the bucketed variant DenseOvlp chops into);
+//   - recursive-doubling allgather and allgatherv;
+//   - binomial-tree broadcast, reduce and gather.
+//
+// Word accounting follows the paper: every transmitted element (value or
+// index) is one word.
+package collectives
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cluster"
+	"repro/internal/tensor"
+)
+
+// Tag bases; each collective offsets by the internal step so composed
+// algorithms never collide. Non-overtaking (src,dst,tag) FIFO order makes
+// reuse across successive collective calls safe.
+const (
+	tagAllreduce = 1 << 20
+	tagAllgather = 2 << 20
+	tagBcast     = 3 << 20
+	tagReduce    = 4 << 20
+	tagGather    = 5 << 20
+	tagVGather   = 6 << 20
+)
+
+func isPow2(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// blockRange splits n elements into size nearly equal blocks and returns
+// the [lo, hi) range of block r. Early blocks get the remainder, matching
+// MPI's reduce-scatter block convention.
+func blockRange(n, size, r int) (int, int) {
+	base := n / size
+	rem := n % size
+	lo := r*base + min(r, rem)
+	hi := lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Allreduce sums x element-wise across all ranks, leaving the full result
+// in x on every rank. It dispatches to Rabenseifner's algorithm for
+// power-of-two cluster sizes and to the ring algorithm otherwise; both
+// achieve the 2n(P−1)/P bandwidth term.
+func Allreduce(cm cluster.Endpoint, x []float64) {
+	if cm.Size() == 1 {
+		return
+	}
+	if isPow2(cm.Size()) {
+		allreduceRabenseifner(cm, x)
+	} else {
+		AllreduceRing(cm, x)
+	}
+}
+
+// allreduceRabenseifner: recursive halving reduce-scatter, then recursive
+// doubling allgather. Requires power-of-two size.
+func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
+	p, rank, n := cm.Size(), cm.Rank(), len(x)
+	// Reduce-scatter by recursive halving. At step s the active range
+	// halves; each rank exchanges the half it will not own with its
+	// partner at distance p>>(s+1). Ranges are recorded so the reverse
+	// allgather handles odd-size halves exactly.
+	lo, hi := 0, n
+	steps := bits.Len(uint(p)) - 1
+	type span struct{ lo, hi int }
+	parents := make([]span, 0, steps)
+	for s := 0; s < steps; s++ {
+		dist := p >> (s + 1)
+		partner := rank ^ dist
+		parents = append(parents, span{lo, hi})
+		mid := lo + (hi-lo)/2
+		var sendLo, sendHi, keepLo, keepHi int
+		if rank&dist == 0 {
+			// Keep the lower half, send the upper half.
+			sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+		} else {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		cm.Send(partner, tagAllreduce+s, append([]float64(nil), x[sendLo:sendHi]...), sendHi-sendLo)
+		recv := cm.RecvFloat64(partner, tagAllreduce+s)
+		if len(recv) != keepHi-keepLo {
+			panic(fmt.Sprintf("collectives: rabenseifner block mismatch %d != %d", len(recv), keepHi-keepLo))
+		}
+		cm.Clock().Compute(float64(len(recv)))
+		tensor.Axpy(1, recv, x[keepLo:keepHi])
+		lo, hi = keepLo, keepHi
+	}
+	// Allgather by recursive doubling: reverse the halving, restoring
+	// each parent range by exchanging the complementary half.
+	for s := steps - 1; s >= 0; s-- {
+		dist := p >> (s + 1)
+		partner := rank ^ dist
+		parent := parents[s]
+		var partnerLo, partnerHi int
+		if lo == parent.lo {
+			partnerLo, partnerHi = hi, parent.hi
+		} else {
+			partnerLo, partnerHi = parent.lo, lo
+		}
+		cm.Send(partner, tagAllreduce+1024+s, append([]float64(nil), x[lo:hi]...), hi-lo)
+		recv := cm.RecvFloat64(partner, tagAllreduce+1024+s)
+		if len(recv) != partnerHi-partnerLo {
+			panic(fmt.Sprintf("collectives: rabenseifner allgather mismatch %d != %d", len(recv), partnerHi-partnerLo))
+		}
+		copy(x[partnerLo:partnerHi], recv)
+		lo, hi = parent.lo, parent.hi
+	}
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce: P−1 steps of
+// reduce-scatter around the ring followed by P−1 steps of allgather.
+func AllreduceRing(cm cluster.Endpoint, x []float64) {
+	p, rank, n := cm.Size(), cm.Rank(), len(x)
+	if p == 1 {
+		return
+	}
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	// Reduce-scatter: at step s, send block (rank-s) and accumulate into
+	// block (rank-s-1).
+	for s := 0; s < p-1; s++ {
+		sb := ((rank - s) % p + p) % p
+		rb := ((rank - s - 1) % p + p) % p
+		slo, shi := blockRange(n, p, sb)
+		cm.Send(next, tagAllreduce+2048+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		recv := cm.RecvFloat64(prev, tagAllreduce+2048+s)
+		rlo, rhi := blockRange(n, p, rb)
+		cm.Clock().Compute(float64(rhi - rlo))
+		tensor.Axpy(1, recv, x[rlo:rhi])
+	}
+	// Allgather ring: circulate the finished blocks.
+	for s := 0; s < p-1; s++ {
+		sb := ((rank - s + 1) % p + p) % p
+		rb := ((rank - s) % p + p) % p
+		slo, shi := blockRange(n, p, sb)
+		cm.Send(next, tagAllreduce+4096+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		recv := cm.RecvFloat64(prev, tagAllreduce+4096+s)
+		rlo, rhi := blockRange(n, p, rb)
+		copy(x[rlo:rhi], recv)
+	}
+}
+
+// ReduceScatterBlock performs the reduce-scatter half of the ring
+// algorithm: on return each rank holds the fully reduced block r of the
+// input in x[blockRange(r)] (other regions hold partial garbage). It
+// returns the rank's block bounds.
+func ReduceScatterBlock(cm cluster.Endpoint, x []float64) (lo, hi int) {
+	p, rank, n := cm.Size(), cm.Rank(), len(x)
+	if p == 1 {
+		return 0, n
+	}
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sb := ((rank - s) % p + p) % p
+		rb := ((rank - s - 1) % p + p) % p
+		slo, shi := blockRange(n, p, sb)
+		cm.Send(next, tagAllreduce+8192+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		recv := cm.RecvFloat64(prev, tagAllreduce+8192+s)
+		rlo, rhi := blockRange(n, p, rb)
+		cm.Clock().Compute(float64(rhi - rlo))
+		tensor.Axpy(1, recv, x[rlo:rhi])
+	}
+	return blockRange(n, p, (rank+1)%p)
+}
+
+// Allgather gathers each rank's equally sized block into a full vector on
+// every rank, using recursive doubling when P is a power of two and a
+// ring otherwise. out must have length len(block)*P; the caller's block
+// is placed at its rank offset.
+func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
+	p, rank := cm.Size(), cm.Rank()
+	bn := len(block)
+	if len(out) != bn*p {
+		panic("collectives: allgather output size mismatch")
+	}
+	copy(out[rank*bn:(rank+1)*bn], block)
+	if p == 1 {
+		return
+	}
+	if isPow2(p) {
+		// Recursive doubling: before the step at distance d each rank
+		// holds the d contiguous blocks of its aligned group of size d;
+		// exchanging with rank^d doubles the group.
+		for s, dist := 0, 1; dist < p; s, dist = s+1, dist*2 {
+			partner := rank ^ dist
+			myBase := rank &^ (dist - 1)
+			partnerBase := partner &^ (dist - 1)
+			myLo := myBase * bn
+			cm.Send(partner, tagAllgather+s, append([]float64(nil), out[myLo:myLo+dist*bn]...), dist*bn)
+			recv := cm.RecvFloat64(partner, tagAllgather+s)
+			copy(out[partnerBase*bn:(partnerBase+dist)*bn], recv)
+		}
+		return
+	}
+	// Ring allgather for non-power-of-two sizes.
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sb := ((rank - s) % p + p) % p
+		rb := ((rank - s - 1) % p + p) % p
+		cm.Send(next, tagAllgather+1024+s, append([]float64(nil), out[sb*bn:(sb+1)*bn]...), bn)
+		recv := cm.RecvFloat64(prev, tagAllgather+1024+s)
+		copy(out[rb*bn:(rb+1)*bn], recv)
+	}
+}
+
+// AllgatherSizes exchanges one int per rank (e.g. variable buffer sizes)
+// and returns the full size vector. This is the (log P)α-only collective
+// the balance phase uses to plan data balancing.
+func AllgatherSizes(cm cluster.Endpoint, mySize int) []int {
+	p, rank := cm.Size(), cm.Rank()
+	sizes := make([]float64, p)
+	block := []float64{float64(mySize)}
+	_ = rank
+	Allgather(cm, block, sizes)
+	out := make([]int, p)
+	for i, v := range sizes {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Chunk is a tagged variable-size payload for Allgatherv: the data
+// contributed by one origin rank.
+type Chunk struct {
+	Origin int
+	Data   []float64
+	Aux    []int32 // optional parallel index payload (COO indexes)
+	// WordsOverride, when positive, replaces the default wire-size
+	// accounting (one word per element). Compressed payloads — e.g.
+	// quantized values — set it to their packed size.
+	WordsOverride int
+}
+
+func (c Chunk) Words() int {
+	if c.WordsOverride > 0 {
+		return c.WordsOverride
+	}
+	return len(c.Data) + len(c.Aux)
+}
+
+// Allgatherv gathers variable-size contributions from every rank onto
+// all ranks using a recursive-doubling (for power-of-two P) or ring
+// schedule. The result is indexed by origin rank. Each element of a
+// chunk (value or aux index) is one word.
+func Allgatherv(cm cluster.Endpoint, mine Chunk) []Chunk {
+	p := cm.Size()
+	mine.Origin = cm.Rank()
+	result := make([]Chunk, p)
+	result[cm.Rank()] = mine
+	if p == 1 {
+		return result
+	}
+	if isPow2(p) {
+		rank := cm.Rank()
+		have := []int{rank}
+		for s, dist := 0, 1; dist < p; s, dist = s+1, dist*2 {
+			partner := rank ^ dist
+			send := make([]Chunk, 0, len(have))
+			words := 0
+			for _, o := range have {
+				send = append(send, result[o])
+				words += result[o].Words()
+			}
+			cm.Send(partner, tagVGather+s, send, words)
+			recv := cm.Recv(partner, tagVGather+s).([]Chunk)
+			for _, ch := range recv {
+				result[ch.Origin] = ch
+				have = append(have, ch.Origin)
+			}
+		}
+		return result
+	}
+	// Ring for non-power-of-two sizes: circulate chunks P−1 steps.
+	rank := cm.Rank()
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	cur := mine
+	for s := 0; s < p-1; s++ {
+		cm.Send(next, tagVGather+1024+s, cur, cur.Words())
+		cur = cm.Recv(prev, tagVGather+1024+s).(Chunk)
+		result[cur.Origin] = cur
+	}
+	return result
+}
+
+// Bcast broadcasts root's vector to all ranks along a binomial tree and
+// returns the received (or original) data.
+func Bcast(cm cluster.Endpoint, root int, data []float64) []float64 {
+	p := cm.Size()
+	if p == 1 {
+		return data
+	}
+	vrank := (cm.Rank() - root + p) % p
+	if vrank != 0 {
+		// Receive from parent: clear the lowest set bit.
+		parent := (vrank&(vrank-1) + root) % p
+		data = cm.RecvFloat64(parent, tagBcast)
+	}
+	// Forward to children: set bits above the lowest set bit.
+	for d := 1; d < p; d *= 2 {
+		if vrank&(d-1) == 0 && vrank&d == 0 {
+			child := vrank | d
+			if child < p {
+				cm.Send((child+root)%p, tagBcast, append([]float64(nil), data...), len(data))
+			}
+		}
+	}
+	return data
+}
+
+// Reduce sums x across ranks onto root along a binomial tree. On root the
+// result is accumulated into x; other ranks' x is left partially reduced
+// (as with MPI, only root's output is defined).
+func Reduce(cm cluster.Endpoint, root int, x []float64) {
+	p := cm.Size()
+	if p == 1 {
+		return
+	}
+	vrank := (cm.Rank() - root + p) % p
+	for d := 1; d < p; d *= 2 {
+		if vrank&d != 0 {
+			parent := (vrank&^d + root) % p
+			cm.Send(parent, tagReduce+d, append([]float64(nil), x...), len(x))
+			return
+		}
+		child := vrank | d
+		if child < p {
+			recv := cm.RecvFloat64((child+root)%p, tagReduce+d)
+			cm.Clock().Compute(float64(len(recv)))
+			tensor.Axpy(1, recv, x)
+		}
+	}
+}
+
+// GatherChunks collects one variable-size chunk per rank onto root (nil
+// on other ranks), via direct sends — the simple pattern TopkA-style
+// roots use.
+func GatherChunks(cm cluster.Endpoint, root int, mine Chunk) []Chunk {
+	mine.Origin = cm.Rank()
+	if cm.Rank() != root {
+		cm.Send(root, tagGather, mine, mine.Words())
+		return nil
+	}
+	out := make([]Chunk, cm.Size())
+	out[root] = mine
+	for r := 0; r < cm.Size(); r++ {
+		if r == root {
+			continue
+		}
+		ch := cm.Recv(r, tagGather).(Chunk)
+		out[ch.Origin] = ch
+	}
+	return out
+}

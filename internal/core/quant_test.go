@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/tensor"
+)
+
+// runQuant runs two iterations with the given QuantBits and returns the
+// per-rank results and mean per-rank steady-state volume.
+func runQuant(t *testing.T, bits int, grads [][]float64) ([]allreduce.Result, float64) {
+	t.Helper()
+	p := len(grads)
+	cfg := allreduce.Config{K: 200, TauPrime: 4, Tau: 4, QuantBits: bits}
+	algos := make([]*OkTopk, p)
+	for i := range algos {
+		algos[i] = NewDefault(cfg)
+	}
+	c := cluster.New(p, netmodel.PizDaint())
+	results := make([]allreduce.Result, p)
+	for it := 1; it <= 2; it++ {
+		if err := c.Run(func(cm *cluster.Comm) error {
+			results[cm.Rank()] = algos[cm.Rank()].Reduce(cm, grads[cm.Rank()], it)
+			return nil
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	var vol float64
+	for _, a := range algos {
+		vol += float64(a.LastVolumeWords())
+	}
+	return results, vol / float64(p)
+}
+
+func quantGrads(p, n int) [][]float64 {
+	r := tensor.RNG(31)
+	grads := make([][]float64, p)
+	for i := range grads {
+		g := make([]float64, n)
+		for j := range g {
+			g[j] = r.NormFloat64() * 0.001
+		}
+		for h := 0; h < 150; h++ {
+			g[r.Intn(n)] = r.NormFloat64()
+		}
+		grads[i] = g
+	}
+	return grads
+}
+
+// TestQuantizedAgreesAcrossRanks: with the quantization extension on,
+// the collective must still produce identical updates on every rank
+// (the wire carries the same dequantized values everywhere).
+func TestQuantizedAgreesAcrossRanks(t *testing.T) {
+	grads := quantGrads(8, 8192)
+	results, _ := runQuant(t, 4, grads)
+	for rk := 1; rk < len(results); rk++ {
+		for i := range results[0].Update {
+			if results[rk].Update[i] != results[0].Update[i] {
+				t.Fatalf("rank %d disagrees at %d", rk, i)
+			}
+		}
+	}
+}
+
+// TestQuantizedVolumeShrinks: 4-bit values must cut steady-state volume
+// roughly in half (indexes stay full words: 2k → k + k/16).
+func TestQuantizedVolumeShrinks(t *testing.T) {
+	grads := quantGrads(8, 8192)
+	_, volExact := runQuant(t, 0, grads)
+	_, volQuant := runQuant(t, 4, grads)
+	if volQuant >= 0.75*volExact {
+		t.Fatalf("quantized volume %v not well below exact %v", volQuant, volExact)
+	}
+	if volQuant < 0.3*volExact {
+		t.Fatalf("quantized volume %v implausibly low vs %v (indexes must still be paid)",
+			volQuant, volExact)
+	}
+}
+
+// TestQuantizedErrorBounded: the quantized update stays within one
+// quantization step per contribution of the exact update.
+func TestQuantizedErrorBounded(t *testing.T) {
+	grads := quantGrads(4, 4096)
+	exact, _ := runQuant(t, 0, grads)
+	quantized, _ := runQuant(t, 8, grads)
+	var maxAbs float64
+	for _, v := range exact[0].Update {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	// 8-bit: step ≤ scale/127; each update sums ≤P contributions but the
+	// same indexes may differ slightly between runs due to threshold
+	// interaction, so compare only indexes present in both.
+	step := maxAbs / 127 * float64(len(grads))
+	for i := range exact[0].Update {
+		e, q := exact[0].Update[i], quantized[0].Update[i]
+		if e != 0 && q != 0 && math.Abs(e-q) > 4*step+1e-9 {
+			t.Fatalf("update[%d]: exact %v quantized %v (allowance %v)", i, e, q, 4*step)
+		}
+	}
+}
+
+// TestQuantizedTrainingStillLearns is covered at the train level by the
+// residual mechanism; here we check determinism: same run twice gives
+// identical updates despite stochastic rounding (seeded per rank/iter).
+func TestQuantizedDeterministic(t *testing.T) {
+	grads := quantGrads(4, 2048)
+	a, _ := runQuant(t, 4, grads)
+	b, _ := runQuant(t, 4, grads)
+	for i := range a[0].Update {
+		if a[0].Update[i] != b[0].Update[i] {
+			t.Fatalf("stochastic quantization not reproducible at %d", i)
+		}
+	}
+}

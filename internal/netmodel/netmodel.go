@@ -1,0 +1,258 @@
+// Package netmodel implements the latency–bandwidth (α-β) cost model the
+// paper uses for all of its algorithm analysis (Table 1), extended with
+// LogGP-style per-endpoint serialization so that the *measured* effects
+// the paper reports — endpoint congestion at reduction roots, the benefit
+// of destination rotation, allgather's linear-in-P growth — emerge from
+// simulation rather than being asserted.
+//
+// Every rank owns a Clock. Sending a message of L words stamps it with a
+// departure time (the sender's NIC serializes injections: back-to-back
+// sends are spaced β·L apart). Receiving computes the delivery time
+// max(departure+α, receiver NIC free) + β·L, so concurrent arrivals at
+// one endpoint queue behind each other. A single isolated message
+// therefore costs exactly α + β·L, matching the classic model, while
+// hot-spots pay the serialized β terms the paper's rotation optimization
+// is designed to avoid.
+//
+// Clocks also account local computation (γ per floating-point operation)
+// and attribute every advance to a Phase (computation, sparsification,
+// communication), which is how the runtime-breakdown figures (8, 10, 12)
+// are regenerated.
+package netmodel
+
+import "fmt"
+
+// Params are the machine constants of the cost model. The defaults are
+// loosely calibrated to a Piz-Daint-class system (Cray Aries: ~1 µs
+// latency, ~10 GB/s per-node bandwidth, P100-class compute) but only the
+// ratios matter for the shapes of the reproduced figures.
+type Params struct {
+	Alpha float64 // seconds of latency per message
+	Beta  float64 // seconds per 8-byte word of transfer
+	Gamma float64 // seconds per floating-point operation (compute model)
+}
+
+// PizDaint returns cost parameters approximating the paper's testbed:
+// α = 1.5 µs, 9.7 GB/s injection bandwidth (β ≈ 0.82 ns/word), and an
+// effective 1 Tflop/s sustained compute rate for the model kernels.
+func PizDaint() Params {
+	return Params{
+		Alpha: 1.5e-6,
+		Beta:  8.0 / 9.7e9,
+		Gamma: 1.0 / 1.0e12,
+	}
+}
+
+// Commodity returns parameters for a commodity 10 GbE cloud cluster
+// (α = 30 µs, ~1.2 GB/s), where the paper predicts Ok-Topk's advantage
+// grows; used by the ablation benches.
+func Commodity() Params {
+	return Params{
+		Alpha: 30e-6,
+		Beta:  8.0 / 1.2e9,
+		Gamma: 1.0 / 1.0e12,
+	}
+}
+
+// Phase labels every clock advance for the breakdown figures.
+type Phase int
+
+const (
+	// PhaseCompute is forward/backward computation plus I/O.
+	PhaseCompute Phase = iota
+	// PhaseSparsify is top-k selection work (threshold evaluation, scans,
+	// packing into COO).
+	PhaseSparsify
+	// PhaseComm is allreduce traffic: injection waits, latency, delivery.
+	PhaseComm
+	numPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "computation"
+	case PhaseSparsify:
+		return "sparsification"
+	case PhaseComm:
+		return "communication"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Clock is the per-rank simulated clock. It is owned by a single worker
+// goroutine; the only cross-goroutine interaction is through message
+// stamps (plain float64 values carried inside messages), so Clock needs
+// no internal locking.
+type Clock struct {
+	params   Params
+	cpu      float64 // current simulated time of this rank
+	sendFree float64 // time at which the send NIC channel becomes free
+	recvFree float64 // time at which the recv NIC channel becomes free
+
+	phase     Phase
+	phaseTime [numPhases]float64
+
+	sentWords int64
+	recvWords int64
+	sentMsgs  int64
+	recvMsgs  int64
+}
+
+// NewClock returns a zeroed clock with the given machine parameters.
+func NewClock(p Params) *Clock { return &Clock{params: p} }
+
+// Params returns the machine constants of this clock.
+func (c *Clock) Params() Params { return c.params }
+
+// Now returns the rank's current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.cpu }
+
+// SetPhase switches the attribution bucket for subsequent advances.
+func (c *Clock) SetPhase(p Phase) { c.phase = p }
+
+// CurrentPhase returns the active attribution bucket.
+func (c *Clock) CurrentPhase() Phase { return c.phase }
+
+// advance moves cpu forward to t (no-op if t is in the past) and charges
+// the delta to the current phase.
+func (c *Clock) advance(t float64) {
+	if t > c.cpu {
+		c.phaseTime[c.phase] += t - c.cpu
+		c.cpu = t
+	}
+}
+
+// AdvanceTo synchronizes the clock to an externally computed time (used
+// by barriers and collective completion points).
+func (c *Clock) AdvanceTo(t float64) { c.advance(t) }
+
+// Compute charges flops floating-point operations of local work.
+func (c *Clock) Compute(flops float64) {
+	if flops < 0 {
+		panic("netmodel: negative flops")
+	}
+	c.advance(c.cpu + flops*c.params.Gamma)
+}
+
+// Sleep charges a fixed amount of local time (used for modeled I/O and
+// framework overheads).
+func (c *Clock) Sleep(seconds float64) {
+	if seconds < 0 {
+		panic("netmodel: negative sleep")
+	}
+	c.advance(c.cpu + seconds)
+}
+
+// StampSend reserves the send NIC for a message of the given word count
+// and returns its departure time. The CPU advances to the injection start
+// (it does not wait for the message to finish streaming), so non-blocking
+// sends posted back-to-back overlap their transfers, while the NIC gap
+// serializes their bandwidth — exactly the behaviour the bucketing
+// optimization (§3.1.1) exploits.
+func (c *Clock) StampSend(words int) float64 {
+	if words < 0 {
+		panic("netmodel: negative message size")
+	}
+	depart := c.cpu
+	if c.sendFree > depart {
+		depart = c.sendFree
+	}
+	c.sendFree = depart + float64(words)*c.params.Beta
+	c.advance(depart)
+	c.sentWords += int64(words)
+	c.sentMsgs++
+	return depart
+}
+
+// StampRecv accounts delivery of a message that departed the sender at
+// depart with the given size, and blocks the CPU until delivery finishes.
+// Delivery occupies the receive NIC for β·words, so concurrent arrivals
+// at one rank serialize (endpoint congestion).
+func (c *Clock) StampRecv(depart float64, words int) {
+	if words < 0 {
+		panic("netmodel: negative message size")
+	}
+	start := depart + c.params.Alpha
+	if c.recvFree > start {
+		start = c.recvFree
+	}
+	done := start + float64(words)*c.params.Beta
+	c.recvFree = done
+	c.advance(done)
+	c.recvWords += int64(words)
+	c.recvMsgs++
+}
+
+// DrainSends blocks the CPU until the send NIC is idle; collective
+// algorithms call it where a real implementation would wait on all
+// outstanding MPI requests.
+func (c *Clock) DrainSends() { c.advance(c.sendFree) }
+
+// Stats is a snapshot of one rank's accounting.
+type Stats struct {
+	Time      float64 // final simulated time (seconds)
+	PhaseTime [3]float64
+	SentWords int64
+	RecvWords int64
+	SentMsgs  int64
+	RecvMsgs  int64
+}
+
+// Snapshot returns the clock's accumulated accounting.
+func (c *Clock) Snapshot() Stats {
+	return Stats{
+		Time:      c.cpu,
+		PhaseTime: [3]float64{c.phaseTime[0], c.phaseTime[1], c.phaseTime[2]},
+		SentWords: c.sentWords,
+		RecvWords: c.recvWords,
+		SentMsgs:  c.sentMsgs,
+		RecvMsgs:  c.recvMsgs,
+	}
+}
+
+// Reset zeroes time and counters but keeps the machine parameters.
+func (c *Clock) Reset() {
+	p := c.params
+	*c = Clock{params: p}
+}
+
+// Aggregate combines per-rank snapshots into cluster-level metrics: the
+// makespan (max time), the mean per-phase times (what the stacked-bar
+// figures plot), and total traffic.
+type Aggregate struct {
+	Makespan       float64
+	MeanPhase      [3]float64
+	MaxPhase       [3]float64
+	TotalSentWords int64
+	TotalMsgs      int64
+	MaxRankWords   int64 // largest per-rank received volume (load imbalance indicator)
+}
+
+// Aggregate reduces a set of rank snapshots.
+func AggregateStats(stats []Stats) Aggregate {
+	var a Aggregate
+	if len(stats) == 0 {
+		return a
+	}
+	for _, s := range stats {
+		if s.Time > a.Makespan {
+			a.Makespan = s.Time
+		}
+		for i := 0; i < 3; i++ {
+			a.MeanPhase[i] += s.PhaseTime[i]
+			if s.PhaseTime[i] > a.MaxPhase[i] {
+				a.MaxPhase[i] = s.PhaseTime[i]
+			}
+		}
+		a.TotalSentWords += s.SentWords
+		a.TotalMsgs += s.SentMsgs
+		if s.RecvWords > a.MaxRankWords {
+			a.MaxRankWords = s.RecvWords
+		}
+	}
+	for i := 0; i < 3; i++ {
+		a.MeanPhase[i] /= float64(len(stats))
+	}
+	return a
+}

@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer token ids to learned vectors, with an additive
+// learned positional table — the BERT input stage.
+type Embedding struct {
+	Vocab, Dim, MaxLen int
+	tok, gtok          []float64 // Vocab × Dim
+	pos, gpos          []float64 // MaxLen × Dim
+	idsCache           [][]int
+}
+
+// EmbeddingSize returns the parameter count.
+func EmbeddingSize(vocab, dim, maxLen int) int { return vocab*dim + maxLen*dim }
+
+// NewEmbedding binds and initializes token and position tables.
+func NewEmbedding(s *Store, r *rand.Rand, vocab, dim, maxLen int) *Embedding {
+	e := &Embedding{Vocab: vocab, Dim: dim, MaxLen: maxLen}
+	e.tok, e.gtok = s.Take(vocab * dim)
+	e.pos, e.gpos = s.Take(maxLen * dim)
+	tensor.RandN(r, e.tok, 0.02)
+	tensor.RandN(r, e.pos, 0.02)
+	return e
+}
+
+// Forward embeds a batch of equal-length token sequences into one matrix
+// of B*S rows (token-major within each sequence).
+func (e *Embedding) Forward(ids [][]int) *tensor.Mat {
+	b, s := len(ids), len(ids[0])
+	e.idsCache = ids
+	out := tensor.NewMat(b*s, e.Dim)
+	for bi, seq := range ids {
+		for t, id := range seq {
+			row := out.Row(bi*s + t)
+			copy(row, e.tok[id*e.Dim:(id+1)*e.Dim])
+			tensor.Axpy(1, e.pos[t*e.Dim:(t+1)*e.Dim], row)
+		}
+	}
+	return out
+}
+
+// Backward scatters gradients into the token and position tables.
+func (e *Embedding) Backward(dout *tensor.Mat) {
+	s := len(e.idsCache[0])
+	for bi, seq := range e.idsCache {
+		for t, id := range seq {
+			drow := dout.Row(bi*s + t)
+			tensor.Axpy(1, drow, e.gtok[id*e.Dim:(id+1)*e.Dim])
+			tensor.Axpy(1, drow, e.gpos[t*e.Dim:(t+1)*e.Dim])
+		}
+	}
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies
+// a learned affine transform.
+type LayerNorm struct {
+	Dim        int
+	gamma, gg  []float64
+	beta, gb   []float64
+	xHat       *tensor.Mat
+	invStd     []float64
+}
+
+// LayerNormSize returns the parameter count.
+func LayerNormSize(dim int) int { return 2 * dim }
+
+// NewLayerNorm binds parameters (γ=1, β=0).
+func NewLayerNorm(s *Store, dim int) *LayerNorm {
+	l := &LayerNorm{Dim: dim}
+	l.gamma, l.gg = s.Take(dim)
+	l.beta, l.gb = s.Take(dim)
+	tensor.Fill(l.gamma, 1)
+	return l
+}
+
+const lnEps = 1e-5
+
+// Forward normalizes rows.
+func (l *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
+	y := tensor.NewMat(x.Rows, x.Cols)
+	l.xHat = tensor.NewMat(x.Rows, x.Cols)
+	l.invStd = make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := tensor.Mean(row)
+		var v float64
+		for _, xv := range row {
+			d := xv - mean
+			v += d * d
+		}
+		inv := 1 / math.Sqrt(v/float64(len(row))+lnEps)
+		l.invStd[i] = inv
+		xh := l.xHat.Row(i)
+		yr := y.Row(i)
+		for j, xv := range row {
+			xh[j] = (xv - mean) * inv
+			yr[j] = xh[j]*l.gamma[j] + l.beta[j]
+		}
+	}
+	return y
+}
+
+// Backward computes the layer-norm gradient.
+func (l *LayerNorm) Backward(dy *tensor.Mat) *tensor.Mat {
+	dx := tensor.NewMat(dy.Rows, dy.Cols)
+	n := float64(l.Dim)
+	for i := 0; i < dy.Rows; i++ {
+		dyr := dy.Row(i)
+		xh := l.xHat.Row(i)
+		var sumDy, sumDyXh float64
+		for j, d := range dyr {
+			g := d * l.gamma[j]
+			sumDy += g
+			sumDyXh += g * xh[j]
+			l.gg[j] += d * xh[j]
+			l.gb[j] += d
+		}
+		dxr := dx.Row(i)
+		inv := l.invStd[i]
+		for j, d := range dyr {
+			g := d * l.gamma[j]
+			dxr[j] = inv * (g - sumDy/n - xh[j]*sumDyXh/n)
+		}
+	}
+	return dx
+}
+
+// MultiHeadAttention is standard bidirectional self-attention over
+// fixed-length sequences (no masking — BERT-style encoding).
+type MultiHeadAttention struct {
+	Dim, Heads, SeqLen int
+	wq, wk, wv, wo     *Linear
+
+	// caches
+	batch      int
+	q, k, v    *tensor.Mat
+	attn       []*tensor.Mat // per (batch*head): S×S softmax weights
+	concatOut  *tensor.Mat
+}
+
+// MultiHeadAttentionSize returns the parameter count.
+func MultiHeadAttentionSize(dim int) int { return 4 * LinearSize(dim, dim) }
+
+// NewMultiHeadAttention binds the four projection layers.
+func NewMultiHeadAttention(s *Store, r *rand.Rand, dim, heads, seqLen int) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic("nn: dim must divide by heads")
+	}
+	return &MultiHeadAttention{
+		Dim: dim, Heads: heads, SeqLen: seqLen,
+		wq: NewLinear(s, r, dim, dim),
+		wk: NewLinear(s, r, dim, dim),
+		wv: NewLinear(s, r, dim, dim),
+		wo: NewLinear(s, r, dim, dim),
+	}
+}
+
+// Forward attends over x (B*S rows × Dim) and returns the same shape.
+func (m *MultiHeadAttention) Forward(x *tensor.Mat) *tensor.Mat {
+	s, d, h := m.SeqLen, m.Dim, m.Heads
+	dh := d / h
+	m.batch = x.Rows / s
+	m.q = m.wq.Forward(x)
+	m.k = m.wk.Forward(x)
+	m.v = m.wv.Forward(x)
+	m.attn = make([]*tensor.Mat, m.batch*h)
+	m.concatOut = tensor.NewMat(x.Rows, d)
+	scale := 1 / math.Sqrt(float64(dh))
+	for bi := 0; bi < m.batch; bi++ {
+		for hd := 0; hd < h; hd++ {
+			a := tensor.NewMat(s, s)
+			for i := 0; i < s; i++ {
+				qi := m.q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				arow := a.Row(i)
+				maxV := math.Inf(-1)
+				for j := 0; j < s; j++ {
+					kj := m.k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					arow[j] = tensor.Dot(qi, kj) * scale
+					if arow[j] > maxV {
+						maxV = arow[j]
+					}
+				}
+				var sum float64
+				for j := range arow {
+					arow[j] = math.Exp(arow[j] - maxV)
+					sum += arow[j]
+				}
+				for j := range arow {
+					arow[j] /= sum
+				}
+				// Weighted sum of V.
+				out := m.concatOut.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				for j := 0; j < s; j++ {
+					vj := m.v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					tensor.Axpy(arow[j], vj, out)
+				}
+			}
+			m.attn[bi*h+hd] = a
+		}
+	}
+	return m.wo.Forward(m.concatOut)
+}
+
+// Backward propagates through the attention and all four projections.
+func (m *MultiHeadAttention) Backward(dy *tensor.Mat) *tensor.Mat {
+	s, d, h := m.SeqLen, m.Dim, m.Heads
+	dh := d / h
+	scale := 1 / math.Sqrt(float64(dh))
+	dConcat := m.wo.Backward(dy)
+	dq := tensor.NewMat(m.q.Rows, d)
+	dk := tensor.NewMat(m.k.Rows, d)
+	dv := tensor.NewMat(m.v.Rows, d)
+	for bi := 0; bi < m.batch; bi++ {
+		for hd := 0; hd < h; hd++ {
+			a := m.attn[bi*h+hd]
+			// dA and dV from dOut = A·V.
+			dA := tensor.NewMat(s, s)
+			for i := 0; i < s; i++ {
+				dout := dConcat.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				darow := dA.Row(i)
+				arow := a.Row(i)
+				for j := 0; j < s; j++ {
+					vj := m.v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					darow[j] = tensor.Dot(dout, vj)
+					dvj := dv.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					tensor.Axpy(arow[j], dout, dvj)
+				}
+			}
+			// Softmax backward per row, then scores → dQ, dK.
+			for i := 0; i < s; i++ {
+				arow := a.Row(i)
+				darow := dA.Row(i)
+				var dot float64
+				for j := range arow {
+					dot += arow[j] * darow[j]
+				}
+				qi := m.q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				dqi := dq.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				for j := 0; j < s; j++ {
+					dscore := arow[j] * (darow[j] - dot) * scale
+					kj := m.k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					dkj := dk.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					tensor.Axpy(dscore, kj, dqi)
+					tensor.Axpy(dscore, qi, dkj)
+				}
+			}
+		}
+	}
+	dx := m.wq.Backward(dq)
+	dxk := m.wk.Backward(dk)
+	dxv := m.wv.Backward(dv)
+	tensor.Axpy(1, dxk.Data, dx.Data)
+	tensor.Axpy(1, dxv.Data, dx.Data)
+	return dx
+}
+
+// EncoderBlock is one pre-norm transformer encoder layer:
+// x + MHSA(LN(x)), then x + FFN(LN(x)) with a ReLU MLP.
+type EncoderBlock struct {
+	ln1, ln2 *LayerNorm
+	attn     *MultiHeadAttention
+	ff1, ff2 *Linear
+	act      *ReLU
+}
+
+// EncoderBlockSize returns the parameter count for dim/heads/ffDim.
+func EncoderBlockSize(dim, ffDim int) int {
+	return 2*LayerNormSize(dim) + MultiHeadAttentionSize(dim) +
+		LinearSize(dim, ffDim) + LinearSize(ffDim, dim)
+}
+
+// NewEncoderBlock binds one encoder layer.
+func NewEncoderBlock(s *Store, r *rand.Rand, dim, heads, seqLen, ffDim int) *EncoderBlock {
+	return &EncoderBlock{
+		ln1:  NewLayerNorm(s, dim),
+		ln2:  NewLayerNorm(s, dim),
+		attn: NewMultiHeadAttention(s, r, dim, heads, seqLen),
+		ff1:  NewLinear(s, r, dim, ffDim),
+		ff2:  NewLinear(s, r, ffDim, dim),
+		act:  &ReLU{},
+	}
+}
+
+// Forward applies the block.
+func (b *EncoderBlock) Forward(x *tensor.Mat) *tensor.Mat {
+	a := b.attn.Forward(b.ln1.Forward(x))
+	mid := tensor.NewMat(x.Rows, x.Cols)
+	tensor.Add(x.Data, a.Data, mid.Data)
+	f := b.ff2.Forward(b.act.Forward(b.ff1.Forward(b.ln2.Forward(mid))))
+	out := tensor.NewMat(x.Rows, x.Cols)
+	tensor.Add(mid.Data, f.Data, out.Data)
+	return out
+}
+
+// Backward applies the block's gradient.
+func (b *EncoderBlock) Backward(dy *tensor.Mat) *tensor.Mat {
+	dMid := b.ln2.Backward(b.ff1.Backward(b.act.Backward(b.ff2.Backward(dy))))
+	tensor.Axpy(1, dy.Data, dMid.Data)
+	dx := b.ln1.Backward(b.attn.Backward(dMid))
+	tensor.Axpy(1, dMid.Data, dx.Data)
+	return dx
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 3×3, stride-1, pad-1 convolution over CHW-packed images
+// stored one per matrix row. It lowers to a matrix multiply via im2col,
+// the standard trick the VGG substrate relies on.
+type Conv2D struct {
+	InC, OutC, H, W int
+	w, gw           []float64 // (InC*9) × OutC
+	b, gb           []float64 // OutC
+	colCache        *tensor.Mat
+	batch           int
+}
+
+// Conv2DSize returns the parameter count.
+func Conv2DSize(inC, outC int) int { return inC*9*outC + outC }
+
+// NewConv2D binds parameters and Xavier-initializes the kernel.
+func NewConv2D(s *Store, r *rand.Rand, inC, outC, h, w int) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, H: h, W: w}
+	c.w, c.gw = s.Take(inC * 9 * outC)
+	c.b, c.gb = s.Take(outC)
+	tensor.XavierInit(r, c.w, inC*9, outC)
+	return c
+}
+
+// im2col lowers x (B rows of InC*H*W) into a (B*H*W) × (InC*9) matrix
+// where each row collects the 3×3 receptive field of one output pixel.
+func (c *Conv2D) im2col(x *tensor.Mat) *tensor.Mat {
+	b, h, w := x.Rows, c.H, c.W
+	col := tensor.NewMat(b*h*w, c.InC*9)
+	for bi := 0; bi < b; bi++ {
+		img := x.Row(bi)
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				row := col.Row((bi*h+oy)*w + ox)
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := -1; ky <= 1; ky++ {
+						iy := oy + ky
+						for kx := -1; kx <= 1; kx++ {
+							ix := ox + kx
+							ci := ic*9 + (ky+1)*3 + (kx + 1)
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								row[ci] = img[(ic*h+iy)*w+ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// Forward computes the convolution; output rows pack OutC*H*W.
+func (c *Conv2D) Forward(x *tensor.Mat) *tensor.Mat {
+	if x.Cols != c.InC*c.H*c.W {
+		panic(fmt.Sprintf("nn: conv input %d != %d", x.Cols, c.InC*c.H*c.W))
+	}
+	c.batch = x.Rows
+	col := c.im2col(x)
+	c.colCache = col
+	wmat := tensor.NewMatFrom(c.InC*9, c.OutC, c.w)
+	out := tensor.NewMat(col.Rows, c.OutC) // (B*H*W) × OutC
+	tensor.Gemm(col, wmat, out)
+	// Repack to B rows of OutC*H*W, adding bias.
+	y := tensor.NewMat(c.batch, c.OutC*c.H*c.W)
+	hw := c.H * c.W
+	for bi := 0; bi < c.batch; bi++ {
+		yrow := y.Row(bi)
+		for pix := 0; pix < hw; pix++ {
+			orow := out.Row(bi*hw + pix)
+			for oc := 0; oc < c.OutC; oc++ {
+				yrow[oc*hw+pix] = orow[oc] + c.b[oc]
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates kernel/bias gradients and returns dx.
+func (c *Conv2D) Backward(dy *tensor.Mat) *tensor.Mat {
+	hw := c.H * c.W
+	// Repack dy (B × OutC*H*W) into (B*H*W) × OutC.
+	dout := tensor.NewMat(c.batch*hw, c.OutC)
+	for bi := 0; bi < c.batch; bi++ {
+		dyrow := dy.Row(bi)
+		for pix := 0; pix < hw; pix++ {
+			drow := dout.Row(bi*hw + pix)
+			for oc := 0; oc < c.OutC; oc++ {
+				drow[oc] = dyrow[oc*hw+pix]
+				c.gb[oc] += drow[oc]
+			}
+		}
+	}
+	gw := tensor.NewMatFrom(c.InC*9, c.OutC, c.gw)
+	tensor.GemmTA(c.colCache, dout, gw)
+
+	// dcol = dout · Wᵀ, then col2im scatters back to dx.
+	wmat := tensor.NewMatFrom(c.InC*9, c.OutC, c.w)
+	dcol := tensor.NewMat(c.batch*hw, c.InC*9)
+	tensor.GemmTB(dout, wmat, dcol)
+	dx := tensor.NewMat(c.batch, c.InC*c.H*c.W)
+	for bi := 0; bi < c.batch; bi++ {
+		dimg := dx.Row(bi)
+		for oy := 0; oy < c.H; oy++ {
+			for ox := 0; ox < c.W; ox++ {
+				row := dcol.Row((bi*c.H+oy)*c.W + ox)
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := -1; ky <= 1; ky++ {
+						iy := oy + ky
+						for kx := -1; kx <= 1; kx++ {
+							ix := ox + kx
+							if iy >= 0 && iy < c.H && ix >= 0 && ix < c.W {
+								dimg[(ic*c.H+iy)*c.W+ix] += row[ic*9+(ky+1)*3+(kx+1)]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is a 2×2, stride-2 max pool over CHW-packed rows.
+type MaxPool2 struct {
+	C, H, W int // input geometry; output is C × H/2 × W/2
+	argmax  []int
+	batch   int
+}
+
+// NewMaxPool2 returns a pool layer for the given input geometry (H and W
+// must be even).
+func NewMaxPool2(c, h, w int) *MaxPool2 {
+	if h%2 != 0 || w%2 != 0 {
+		panic("nn: maxpool needs even dimensions")
+	}
+	return &MaxPool2{C: c, H: h, W: w}
+}
+
+// Forward downsamples by taking 2×2 maxima.
+func (p *MaxPool2) Forward(x *tensor.Mat) *tensor.Mat {
+	oh, ow := p.H/2, p.W/2
+	p.batch = x.Rows
+	y := tensor.NewMat(x.Rows, p.C*oh*ow)
+	p.argmax = make([]int, len(y.Data))
+	for bi := 0; bi < x.Rows; bi++ {
+		img := x.Row(bi)
+		yrow := y.Row(bi)
+		for ch := 0; ch < p.C; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := -1
+					bestV := 0.0
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := (ch*p.H+2*oy+dy)*p.W + 2*ox + dx
+							if best == -1 || img[idx] > bestV {
+								best, bestV = idx, img[idx]
+							}
+						}
+					}
+					oidx := (ch*oh+oy)*ow + ox
+					yrow[oidx] = bestV
+					p.argmax[bi*len(yrow)+oidx] = best
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2) Backward(dy *tensor.Mat) *tensor.Mat {
+	dx := tensor.NewMat(p.batch, p.C*p.H*p.W)
+	for bi := 0; bi < p.batch; bi++ {
+		drow := dy.Row(bi)
+		dimg := dx.Row(bi)
+		for oidx, v := range drow {
+			dimg[p.argmax[bi*len(drow)+oidx]] += v
+		}
+	}
+	return dx
+}

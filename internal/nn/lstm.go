@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer LSTM unrolled over fixed-length sequences with
+// full backpropagation through time. Gate order in the packed weight
+// matrices is [input, forget, cell, output].
+type LSTM struct {
+	In, Hidden int
+	wx, gwx    []float64 // In × 4H
+	wh, gwh    []float64 // H × 4H
+	b, gb      []float64 // 4H
+
+	// caches per timestep for BPTT
+	steps  int
+	batch  int
+	xs     []*tensor.Mat // inputs
+	gates  []*tensor.Mat // pre-activation → activated gates (B × 4H)
+	cells  []*tensor.Mat // cell states (B × H), index t+1; cells[0] is zero
+	hidden []*tensor.Mat // hidden states, same indexing
+}
+
+// LSTMSize returns the parameter count for the given dimensions.
+func LSTMSize(in, hidden int) int { return in*4*hidden + hidden*4*hidden + 4*hidden }
+
+// NewLSTM binds parameters and initializes with Xavier-uniform weights
+// and the customary forget-gate bias of 1.
+func NewLSTM(s *Store, r *rand.Rand, in, hidden int) *LSTM {
+	l := &LSTM{In: in, Hidden: hidden}
+	l.wx, l.gwx = s.Take(in * 4 * hidden)
+	l.wh, l.gwh = s.Take(hidden * 4 * hidden)
+	l.b, l.gb = s.Take(4 * hidden)
+	tensor.XavierInit(r, l.wx, in, 4*hidden)
+	tensor.XavierInit(r, l.wh, hidden, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		l.b[j] = 1 // forget gate bias
+	}
+	return l
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward consumes a sequence of T input matrices (each B×In) and
+// returns the final hidden state (B×H).
+func (l *LSTM) Forward(seq []*tensor.Mat) *tensor.Mat {
+	h := l.Hidden
+	l.steps = len(seq)
+	l.batch = seq[0].Rows
+	l.xs = seq
+	l.gates = make([]*tensor.Mat, l.steps)
+	l.cells = make([]*tensor.Mat, l.steps+1)
+	l.hidden = make([]*tensor.Mat, l.steps+1)
+	l.cells[0] = tensor.NewMat(l.batch, h)
+	l.hidden[0] = tensor.NewMat(l.batch, h)
+
+	wx := tensor.NewMatFrom(l.In, 4*h, l.wx)
+	wh := tensor.NewMatFrom(h, 4*h, l.wh)
+	for t := 0; t < l.steps; t++ {
+		pre := tensor.NewMat(l.batch, 4*h)
+		tensor.Gemm(seq[t], wx, pre)
+		tensor.Gemm(l.hidden[t], wh, pre)
+		cNew := tensor.NewMat(l.batch, h)
+		hNew := tensor.NewMat(l.batch, h)
+		for bi := 0; bi < l.batch; bi++ {
+			row := pre.Row(bi)
+			cPrev := l.cells[t].Row(bi)
+			cRow := cNew.Row(bi)
+			hRow := hNew.Row(bi)
+			for j := 0; j < h; j++ {
+				i := sigmoid(row[j] + l.b[j])
+				f := sigmoid(row[h+j] + l.b[h+j])
+				g := math.Tanh(row[2*h+j] + l.b[2*h+j])
+				o := sigmoid(row[3*h+j] + l.b[3*h+j])
+				// Store activated gates in place for the backward pass.
+				row[j], row[h+j], row[2*h+j], row[3*h+j] = i, f, g, o
+				cRow[j] = f*cPrev[j] + i*g
+				hRow[j] = o * math.Tanh(cRow[j])
+			}
+		}
+		l.gates[t] = pre
+		l.cells[t+1] = cNew
+		l.hidden[t+1] = hNew
+	}
+	return l.hidden[l.steps]
+}
+
+// Backward takes the gradient of the loss w.r.t. the final hidden state
+// and runs BPTT, accumulating all weight gradients. It returns the
+// per-timestep input gradients (useful when the LSTM is stacked).
+func (l *LSTM) Backward(dhFinal *tensor.Mat) []*tensor.Mat {
+	h := l.Hidden
+	dh := dhFinal.Clone()
+	dc := tensor.NewMat(l.batch, h)
+	dxs := make([]*tensor.Mat, l.steps)
+	wx := tensor.NewMatFrom(l.In, 4*h, l.wx)
+	wh := tensor.NewMatFrom(h, 4*h, l.wh)
+	gwx := tensor.NewMatFrom(l.In, 4*h, l.gwx)
+	gwh := tensor.NewMatFrom(h, 4*h, l.gwh)
+
+	for t := l.steps - 1; t >= 0; t-- {
+		dpre := tensor.NewMat(l.batch, 4*h)
+		for bi := 0; bi < l.batch; bi++ {
+			gates := l.gates[t].Row(bi)
+			cPrev := l.cells[t].Row(bi)
+			cCur := l.cells[t+1].Row(bi)
+			dhRow := dh.Row(bi)
+			dcRow := dc.Row(bi)
+			dpreRow := dpre.Row(bi)
+			for j := 0; j < h; j++ {
+				i, f, g, o := gates[j], gates[h+j], gates[2*h+j], gates[3*h+j]
+				tc := math.Tanh(cCur[j])
+				dcTot := dcRow[j] + dhRow[j]*o*(1-tc*tc)
+				dpreRow[j] = dcTot * g * i * (1 - i)          // input gate
+				dpreRow[h+j] = dcTot * cPrev[j] * f * (1 - f) // forget gate
+				dpreRow[2*h+j] = dcTot * i * (1 - g*g)        // cell candidate
+				dpreRow[3*h+j] = dhRow[j] * tc * o * (1 - o)  // output gate
+				dcRow[j] = dcTot * f                          // flows to t-1
+			}
+			for j := 0; j < 4*h; j++ {
+				l.gb[j] += dpreRow[j]
+			}
+		}
+		tensor.GemmTA(l.xs[t], dpre, gwx)
+		tensor.GemmTA(l.hidden[t], dpre, gwh)
+		dx := tensor.NewMat(l.batch, l.In)
+		tensor.GemmTB(dpre, wx, dx)
+		dxs[t] = dx
+		dhPrev := tensor.NewMat(l.batch, h)
+		tensor.GemmTB(dpre, wh, dhPrev)
+		dh = dhPrev
+	}
+	return dxs
+}

@@ -1,0 +1,336 @@
+// Package pipeline implements the paper's stated future work (§6):
+// combining Ok-Topk with hybrid data + pipeline parallelism. A model is
+// split into S stages laid out over an S×R grid of workers — each column
+// is one pipeline replica processing microbatches GPipe-style, and each
+// row is the data-parallel group of one stage, synchronizing that
+// stage's gradients with any allreduce.Algorithm (Ok-Topk, dense, or any
+// baseline) over a sub-communicator.
+//
+// Activations and activation gradients travel between neighbouring
+// stages as point-to-point messages; stage-gradient reduction happens on
+// per-stage cluster.Groups, so the whole hybrid schedule — bubble
+// overheads, inter-stage traffic and the sparse allreduce — is costed
+// under the same α-β model as the rest of the repository.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/allreduce"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Stage is one pipeline stage: a stack of Linear+ReLU layers with its
+// own parameter store. The final stage ends with a classifier head
+// (plain Linear; softmax cross-entropy is applied by the scheduler).
+type Stage struct {
+	store  *nn.Store
+	lin    []*nn.Linear
+	act    []*nn.ReLU
+	isLast bool
+}
+
+// stageSize returns the parameter count for widths[0]→…→widths[len-1].
+func stageSize(widths []int) int {
+	n := 0
+	for i := 1; i < len(widths); i++ {
+		n += nn.LinearSize(widths[i-1], widths[i])
+	}
+	return n
+}
+
+// newStage builds a stage mapping widths[0] inputs to widths[last]
+// outputs. Hidden layers get ReLU; the last layer of the last stage is
+// a linear head.
+func newStage(seed int64, widths []int, isLast bool) *Stage {
+	s := &Stage{store: nn.NewStore(stageSize(widths)), isLast: isLast}
+	r := tensor.RNG(seed)
+	for i := 1; i < len(widths); i++ {
+		s.lin = append(s.lin, nn.NewLinear(s.store, r, widths[i-1], widths[i]))
+		s.act = append(s.act, &nn.ReLU{})
+	}
+	return s
+}
+
+// Forward applies the stage.
+func (s *Stage) Forward(x *tensor.Mat) *tensor.Mat {
+	h := x
+	for i, l := range s.lin {
+		h = l.Forward(h)
+		if !(s.isLast && i == len(s.lin)-1) {
+			h = s.act[i].Forward(h)
+		}
+	}
+	return h
+}
+
+// Backward propagates dy through the stage, accumulating gradients, and
+// returns dx.
+func (s *Stage) Backward(dy *tensor.Mat) *tensor.Mat {
+	d := dy
+	for i := len(s.lin) - 1; i >= 0; i-- {
+		if !(s.isLast && i == len(s.lin)-1) {
+			d = s.act[i].Backward(d)
+		}
+		d = s.lin[i].Backward(d)
+	}
+	return d
+}
+
+// Config describes a hybrid run.
+type Config struct {
+	// Stages (S) and Replicas (R) define the S×R grid; the cluster size
+	// must be S·R. Rank layout: rank = replica*S + stage.
+	Stages, Replicas int
+	// Widths are the layer widths of the full MLP, including input and
+	// output; it is cut into Stages contiguous segments.
+	Widths []int
+	// Microbatches per iteration and rows per microbatch.
+	Microbatches, MicrobatchSize int
+	// Algorithm names the gradient reduction used within each stage's
+	// data-parallel group.
+	Algorithm string
+	// Reduce configures the sparse algorithms.
+	Reduce allreduce.Config
+	// LR is the SGD learning rate.
+	LR   float64
+	Seed int64
+}
+
+// Trainer is one worker's state in the hybrid grid.
+type Trainer struct {
+	cfg      Config
+	stage    *Stage
+	stageIdx int
+	replica  int
+	algo     allreduce.Algorithm
+	residual []float64
+	acc      []float64
+}
+
+// StageWidths returns the widths slice of stage s (with overlap at the
+// cut points) for the given full widths and stage count.
+func StageWidths(widths []int, stages, s int) []int {
+	cuts := len(widths) - 1 // number of layers
+	lo := s * cuts / stages
+	hi := (s + 1) * cuts / stages
+	return widths[lo : hi+1]
+}
+
+// NewTrainer builds the worker for the given world rank.
+func NewTrainer(cfg Config, worldRank int) *Trainer {
+	if cfg.Stages*cfg.Replicas <= 0 {
+		panic("pipeline: empty grid")
+	}
+	stageIdx := worldRank % cfg.Stages
+	replica := worldRank / cfg.Stages
+	w := StageWidths(cfg.Widths, cfg.Stages, stageIdx)
+	st := newStage(cfg.Seed+int64(stageIdx), w, stageIdx == cfg.Stages-1)
+	n := len(st.store.Params)
+	return &Trainer{
+		cfg: cfg, stage: st, stageIdx: stageIdx, replica: replica,
+		algo:     newAlgo(cfg.Algorithm, cfg.Reduce),
+		residual: make([]float64, n),
+		acc:      make([]float64, n),
+	}
+}
+
+// newAlgo avoids importing train (which would cycle); the hybrid grid
+// only needs the subset of algorithms the future-work experiment uses.
+func newAlgo(name string, cfg allreduce.Config) allreduce.Algorithm {
+	switch name {
+	case "Dense":
+		return allreduce.NewDense()
+	case "DenseOvlp":
+		return allreduce.NewDenseOvlp(cfg)
+	case "OkTopk":
+		return core.NewDefault(cfg)
+	}
+	panic(fmt.Sprintf("pipeline: unknown algorithm %q", name))
+}
+
+// IterStats summarizes one hybrid iteration.
+type IterStats struct {
+	Loss        float64
+	Correct     int
+	Total       int
+	IterSeconds float64
+}
+
+const (
+	tagActFwd = 14 << 20
+	tagActBwd = 15 << 20
+)
+
+// Step runs one hybrid training iteration (forward/backward over all
+// microbatches, stage-group gradient reduction, SGD update). All S·R
+// workers call it collectively with the same iteration number t and a
+// shared data seed so replicas draw disjoint microbatches but labels
+// stay consistent along each pipeline column.
+func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
+	cfg := tr.cfg
+	S, R := cfg.Stages, cfg.Replicas
+	clk := cm.Clock()
+	start := clk.Snapshot()
+	clk.SetPhase(netmodel.PhaseCompute)
+	tr.stage.store.ZeroGrads()
+
+	prevRank := cm.Rank() - 1
+	nextRank := cm.Rank() + 1
+	first := tr.stageIdx == 0
+	last := tr.stageIdx == S-1
+
+	type stash struct {
+		x *tensor.Mat
+	}
+	stashes := make([]stash, cfg.Microbatches)
+	var loss float64
+	var correct, total int
+
+	// GPipe schedule: all forwards, then all backwards. Activations are
+	// sent as (rows×cols) matrices; wire size = element count.
+	for m := 0; m < cfg.Microbatches; m++ {
+		// Each (replica, microbatch, iteration) triple gets its own
+		// deterministic sample; every stage of a column derives the same
+		// batch so the last stage knows the labels.
+		rng := tensor.RNG(cfg.Seed*1_000_003 + int64(t)*1009 + int64(tr.replica)*101 + int64(m))
+		x, y := data.Batch(rng, cfg.MicrobatchSize)
+		var in *tensor.Mat
+		if first {
+			in = x
+		} else {
+			clk.SetPhase(netmodel.PhaseComm)
+			in = cm.Recv(prevRank, tagActFwd+m).(*tensor.Mat)
+			clk.SetPhase(netmodel.PhaseCompute)
+		}
+		stashes[m].x = in
+		out := tr.stage.Forward(in)
+		clk.Compute(flopsLinear(tr.stage, in.Rows))
+		if last {
+			l, c, dlogits := nn.SoftmaxCrossEntropy(out, y)
+			loss += l
+			correct += c
+			total += len(y)
+			dxs := tr.stage.Backward(dlogits)
+			clk.Compute(2 * flopsLinear(tr.stage, in.Rows))
+			if !first {
+				clk.SetPhase(netmodel.PhaseComm)
+				cm.Send(prevRank, tagActBwd+m, dxs, len(dxs.Data))
+				clk.SetPhase(netmodel.PhaseCompute)
+			}
+		} else {
+			clk.SetPhase(netmodel.PhaseComm)
+			cm.Send(nextRank, tagActFwd+m, out, len(out.Data))
+			clk.SetPhase(netmodel.PhaseCompute)
+		}
+	}
+	// Backward phase for non-last stages: receive dy, backprop, forward
+	// dx upstream. The stage must re-run its forward on the stashed
+	// input first (activation recomputation, as GPipe does to save
+	// memory — and to repopulate the layer caches).
+	if !last {
+		for m := 0; m < cfg.Microbatches; m++ {
+			clk.SetPhase(netmodel.PhaseComm)
+			dy := cm.Recv(nextRank, tagActBwd+m).(*tensor.Mat)
+			clk.SetPhase(netmodel.PhaseCompute)
+			tr.stage.Forward(stashes[m].x) // recompute caches
+			dx := tr.stage.Backward(dy)
+			clk.Compute(3 * flopsLinear(tr.stage, dy.Rows))
+			if !first {
+				clk.SetPhase(netmodel.PhaseComm)
+				cm.Send(prevRank, tagActBwd+m, dx, len(dx.Data))
+				clk.SetPhase(netmodel.PhaseCompute)
+			}
+		}
+	}
+
+	// Data-parallel reduction of this stage's gradient across its row
+	// group, in the stage's own tag space.
+	var ranks []int
+	for r := 0; r < R; r++ {
+		ranks = append(ranks, r*S+tr.stageIdx)
+	}
+	group := cluster.NewGroup(cm, ranks, tr.stageIdx)
+	grads := tr.stage.store.Grads
+	for i, g := range grads {
+		tr.acc[i] = tr.residual[i] + cfg.LR*g
+	}
+	res := tr.algo.Reduce(group, tr.acc, t)
+	if res.All {
+		for i := range tr.residual {
+			tr.residual[i] = 0
+		}
+	} else {
+		copy(tr.residual, tr.acc)
+		for _, idx := range res.Contributed {
+			tr.residual[idx] = 0
+		}
+	}
+	params := tr.stage.store.Params
+	inv := 1 / float64(R)
+	for i, v := range res.Update {
+		if v != 0 {
+			params[i] -= v * inv
+		}
+	}
+
+	end := clk.Snapshot()
+	return IterStats{
+		Loss:        loss / float64(cfg.Microbatches),
+		Correct:     correct,
+		Total:       total,
+		IterSeconds: end.Time - start.Time,
+	}
+}
+
+// Params exposes this worker's stage parameters (for sync checks).
+func (tr *Trainer) Params() []float64 { return tr.stage.store.Params }
+
+// StageIndex returns the worker's stage.
+func (tr *Trainer) StageIndex() int { return tr.stageIdx }
+
+// flopsLinear estimates the multiply-accumulate count of one stage pass.
+func flopsLinear(s *Stage, rows int) float64 {
+	var f float64
+	for _, l := range s.lin {
+		f += 2 * float64(rows) * float64(l.In) * float64(l.Out)
+	}
+	return f
+}
+
+// Dataset is the synthetic classification task the hybrid experiment
+// trains: Gaussian class prototypes in the input space.
+type Dataset struct {
+	In, Classes int
+	prototypes  *tensor.Mat
+	noise       float64
+}
+
+// NewDataset builds the generator.
+func NewDataset(seed int64, in, classes int) *Dataset {
+	d := &Dataset{In: in, Classes: classes, noise: 0.8}
+	d.prototypes = tensor.NewMat(classes, in)
+	tensor.RandN(tensor.RNG(seed), d.prototypes.Data, 1)
+	return d
+}
+
+// Batch samples a labelled batch.
+func (d *Dataset) Batch(r *rand.Rand, size int) (*tensor.Mat, []int) {
+	x := tensor.NewMat(size, d.In)
+	y := make([]int, size)
+	for i := 0; i < size; i++ {
+		cl := r.Intn(d.Classes)
+		y[i] = cl
+		row := x.Row(i)
+		copy(row, d.prototypes.Row(cl))
+		for j := range row {
+			row[j] += r.NormFloat64() * d.noise
+		}
+	}
+	return x, y
+}

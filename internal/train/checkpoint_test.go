@@ -1,0 +1,101 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// TestCheckpointResumeMatchesContinuous: stopping at a τ′ boundary,
+// serializing, restoring into a fresh session and continuing reproduces
+// the continuous run bit-for-bit.
+func TestCheckpointResumeMatchesContinuous(t *testing.T) {
+	cfg := quickCfg("VGG", "OkTopk", 2)
+	cfg.Reduce.TauPrime = 4
+	cfg.Reduce.Tau = 4
+
+	// Continuous reference: 8 iterations.
+	ref := NewSession(cfg)
+	ref.RunIterations(8, nil)
+
+	// Checkpointed run: 4 iterations (a τ′ boundary), serialize through
+	// bytes, restore into a fresh fast-forwarded session, continue.
+	first := NewSession(cfg)
+	first.RunIterations(4, nil)
+	var buf bytes.Buffer
+	if err := first.Checkpoint().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := checkpoint.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewSession(cfg)
+	resumed.SkipTo(4)
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iteration() != 4 {
+		t.Fatalf("iteration after restore: %d", resumed.Iteration())
+	}
+	resumed.RunIterations(4, nil)
+
+	pa, pb := ref.Trainers[0].W.Params(), resumed.Trainers[0].W.Params()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("resumed trajectory diverged at param %d: %v vs %v", i, pb[i], pa[i])
+		}
+	}
+}
+
+// TestCheckpointResumeAdam repeats the invariant with stateful Adam.
+func TestCheckpointResumeAdam(t *testing.T) {
+	cfg := quickCfg("BERT", "OkTopk", 2)
+	cfg.Adam = true
+	cfg.LR = 1e-3
+	cfg.Reduce.TauPrime = 4
+	cfg.Reduce.Tau = 4
+
+	ref := NewSession(cfg)
+	ref.RunIterations(6, nil)
+
+	first := NewSession(cfg)
+	first.RunIterations(4, nil)
+	ck := first.Checkpoint()
+	if ck.Ranks[0].AdamM == nil {
+		t.Fatal("Adam moments not captured")
+	}
+	resumed := NewSession(cfg)
+	resumed.SkipTo(4)
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	resumed.RunIterations(2, nil)
+
+	pa, pb := ref.Trainers[0].W.Params(), resumed.Trainers[0].W.Params()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("Adam resume diverged at %d", i)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch: shape and metadata guards.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	s := NewSession(quickCfg("VGG", "OkTopk", 2))
+	ck := s.Checkpoint()
+
+	other := NewSession(quickCfg("VGG", "Dense", 2))
+	if err := other.Restore(ck); err == nil {
+		t.Fatal("algorithm mismatch accepted")
+	}
+	bigger := NewSession(quickCfg("VGG", "OkTopk", 4))
+	if err := bigger.Restore(ck); err == nil {
+		t.Fatal("rank-count mismatch accepted")
+	}
+	lstm := NewSession(quickCfg("LSTM", "OkTopk", 2))
+	if err := lstm.Restore(ck); err == nil {
+		t.Fatal("workload mismatch accepted")
+	}
+}
