@@ -420,4 +420,3 @@ func BenchmarkDenseAllreduce(b *testing.B) {
 		})
 	}
 }
-

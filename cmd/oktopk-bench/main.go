@@ -6,6 +6,13 @@
 //	oktopk-bench fig8
 //	oktopk-bench -full all
 //
+// Each experiment expands into a grid of independent configurations
+// (cluster size × density × workload × algorithm) that run concurrently
+// on a bounded worker pool; -parallel sets the pool size. Every
+// configuration is deterministically seeded and owns its simulated
+// cluster, so the output is byte-identical at any -parallel setting.
+// -out writes the aggregated metrics as results.csv and results.md.
+//
 // The default scale finishes in minutes on a laptop; -full uses the
 // paper's cluster sizes and longer runs.
 package main
@@ -14,147 +21,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 )
 
-var full = flag.Bool("full", false, "run at the paper's cluster sizes (slower)")
+var (
+	full     = flag.Bool("full", false, "run at the paper's cluster sizes (slower)")
+	parallel = flag.Int("parallel", runtime.NumCPU(),
+		"max experiment configurations run concurrently (1 = serial; results are identical at any setting)")
+	outDir = flag.String("out", "",
+		"directory to write aggregated results.csv and results.md into")
+)
 
-type experiment struct {
-	id, desc string
-	run      func()
-}
-
-func out() *os.File { return os.Stdout }
-
-func experimentsList() []experiment {
-	// Scale presets: quick keeps every run under ~1 minute; full uses
-	// the paper's worker counts.
-	type scale struct {
-		table1Ps  []int
-		fig7Ps    []int
-		weakPs    map[string][]int
-		weakIters int
-		convIters int
-		convP     int
-		bertP     int
-	}
-	sc := scale{
-		table1Ps:  []int{8, 16, 32},
-		fig7Ps:    []int{16, 32, 64},
-		weakPs:    map[string][]int{"VGG": {8, 16}, "LSTM": {8, 16}, "BERT": {8, 16, 32}},
-		weakIters: 10,
-		convIters: 120,
-		convP:     4,
-		bertP:     8,
-	}
+func scale() experiments.Scale {
 	if *full {
-		sc = scale{
-			table1Ps:  []int{16, 64, 128},
-			fig7Ps:    []int{16, 32, 64},
-			weakPs:    map[string][]int{"VGG": {16, 32}, "LSTM": {32, 64}, "BERT": {32, 64, 256}},
-			weakIters: 12,
-			convIters: 400,
-			convP:     16,
-			bertP:     32,
-		}
+		return experiments.FullScale()
 	}
-
-	weak := func(workload string, density float64, batches map[int]int) func() {
-		return func() {
-			for _, p := range sc.weakPs[workload] {
-				batch := batches[p]
-				if batch == 0 {
-					batch = 4
-				}
-				bs := experiments.WeakScaling(workload, p, batch, sc.weakIters, density, nil)
-				experiments.PrintBreakdowns(out(),
-					fmt.Sprintf("%s weak scaling, P=%d, density=%.1f%% (runtime/iteration breakdown)",
-						workload, p, density*100), bs)
-			}
-		}
-	}
-	conv := func(workload string, density float64, algos []string) func() {
-		return func() {
-			curves := experiments.Convergence(experiments.ConvergenceConfig{
-				Workload:   workload,
-				Algorithms: algos,
-				P:          sc.convP,
-				Batch:      4,
-				Iters:      sc.convIters,
-				EvalEvery:  sc.convIters / 8,
-				Density:    density,
-			})
-			experiments.PrintCurves(out(),
-				fmt.Sprintf("%s convergence vs modeled training time (P=%d, density=%.1f%%)",
-					workload, sc.convP, density*100), curves)
-		}
-	}
-
-	return []experiment{
-		{"table1", "communication volume model vs measured", func() {
-			experiments.Table1(out(), sc.table1Ps, 1000000, 10000)
-		}},
-		{"table2", "model inventory", func() { experiments.Table2(out()) }},
-		{"fig4", "gradient distribution and threshold prediction (3 panels)", func() {
-			for _, p := range []struct {
-				wl string
-				d  float64
-			}{{"VGG", 0.01}, {"LSTM", 0.02}, {"BERT", 0.01}} {
-				experiments.Figure4(p.wl, p.d, 8, 30).Print(out())
-			}
-		}},
-		{"fig5", "empirical xi of Assumption 1 (3 panels)", func() {
-			for _, wl := range []string{"VGG", "LSTM", "BERT"} {
-				experiments.Figure5(wl, []float64{0.01, 0.02}, 4, 32, 4).Print(out())
-			}
-		}},
-		{"fig6", "top-k selection counts vs accurate vs Gaussiank (3 panels)", func() {
-			experiments.Figure6("VGG", 0.01, 4, 32, 4, 8).Print(out())
-			experiments.Figure6("LSTM", 0.02, 4, 32, 4, 8).Print(out())
-			experiments.Figure6("BERT", 0.01, 4, 32, 4, 16).Print(out())
-		}},
-		{"fillin", "TopkDSA output-density expansion (§5.2)", func() {
-			experiments.FillIn("VGG", 0.01, 16, 6).Print(out())
-			experiments.FillIn("LSTM", 0.02, 16, 6).Print(out())
-		}},
-		{"fig7", "load-balancing speedups", func() {
-			experiments.PrintFigure7(out(), experiments.Figure7(sc.fig7Ps, 200000, 0.01))
-		}},
-		// Weak scaling holds the local batch constant (the paper's
-		// global batch grows ∝P): VGG 16/GPU, LSTM 2/GPU, BERT 8/GPU.
-		{"fig8", "VGG weak scaling breakdown", weak("VGG", 0.02, map[int]int{8: 16, 16: 16, 32: 16})},
-		{"fig9", "VGG accuracy vs training time", conv("VGG", 0.02,
-			[]string{"DenseOvlp", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"})},
-		{"fig10", "LSTM weak scaling breakdown", weak("LSTM", 0.02, map[int]int{8: 2, 16: 2, 32: 2, 64: 2})},
-		{"fig11", "LSTM WER vs training time", conv("LSTM", 0.02,
-			[]string{"DenseOvlp", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"})},
-		{"fig12", "BERT weak scaling breakdown + parallel efficiency", func() {
-			weak("BERT", 0.01, map[int]int{8: 8, 16: 8, 32: 8, 64: 8, 256: 8})()
-			ps := sc.weakPs["BERT"]
-			eff := experiments.ParallelEfficiency("BERT", ps[0], ps[len(ps)-1], 4, sc.weakIters, 0.01)
-			fmt.Fprintf(out(), "OkTopk weak-scaling parallel efficiency %d→%d workers: %.1f%%\n",
-				ps[0], ps[len(ps)-1], eff*100)
-		}},
-		{"fig13", "BERT pre-training loss vs time", func() {
-			curves := experiments.Convergence(experiments.ConvergenceConfig{
-				Workload:   "BERT",
-				Algorithms: []string{"DenseOvlp", "Gaussiank", "OkTopk"},
-				P:          sc.bertP,
-				Batch:      4,
-				Iters:      sc.convIters,
-				EvalEvery:  sc.convIters / 8,
-				Density:    0.01,
-			})
-			experiments.PrintCurves(out(),
-				fmt.Sprintf("BERT pre-training loss vs modeled time (P=%d, density=1.0%%)", sc.bertP), curves)
-		}},
-	}
+	return experiments.QuickScale()
 }
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: oktopk-bench [-full] <experiment id>|all|list\n")
+		fmt.Fprintf(os.Stderr, "usage: oktopk-bench [-full] [-parallel N] [-out dir] <experiment id>|all|list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -162,28 +53,90 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	exps := experimentsList()
 	id := flag.Arg(0)
 	switch id {
 	case "list":
-		for _, e := range exps {
-			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
 		}
 		return
 	case "all":
-		for _, e := range exps {
-			fmt.Printf("=== %s: %s ===\n", e.id, e.desc)
-			e.run()
+		os.Exit(run(experiments.Registry()))
+	}
+	r, ok := experiments.FindRunner(id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try `oktopk-bench list`)\n", id)
+		os.Exit(2)
+	}
+	os.Exit(run([]experiments.Runner{r}))
+}
+
+// run expands the runners into one flat spec list — so configurations
+// from different figures share the worker pool — executes it, renders
+// each runner's report in registry order, and emits the aggregated
+// CSV/markdown when -out is set. Returns the process exit code.
+func run(runners []experiments.Runner) int {
+	sc := scale()
+	var specs []experiments.Spec
+	counts := make([]int, len(runners))
+	for i, r := range runners {
+		s := r.Specs(sc)
+		counts[i] = len(s)
+		specs = append(specs, s...)
+	}
+
+	start := time.Now()
+	results := experiments.RunSpecs(specs, *parallel)
+	elapsed := time.Since(start)
+
+	off := 0
+	for i, r := range runners {
+		rs := results[off : off+counts[i]]
+		off += counts[i]
+		if len(runners) > 1 {
+			fmt.Printf("=== %s: %s ===\n", r.ID, r.Desc)
+		}
+		r.Render(os.Stdout, rs)
+		if len(runners) > 1 {
 			fmt.Println()
 		}
-		return
 	}
-	for _, e := range exps {
-		if e.id == id {
-			e.run()
-			return
+	// Timing goes to stderr so stdout stays deterministic.
+	fmt.Fprintf(os.Stderr, "ran %d configurations in %.1fs (parallel=%d)\n",
+		len(specs), elapsed.Seconds(), *parallel)
+
+	if *outDir != "" {
+		if err := writeAggregates(*outDir, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown experiment %q (try `oktopk-bench list`)\n", id)
-	os.Exit(2)
+	code := 0
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, res.Err)
+			code = 1
+		}
+	}
+	return code
+}
+
+func writeAggregates(dir string, results []experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	if err := experiments.WriteCSV(csv, results); err != nil {
+		return err
+	}
+	md, err := os.Create(filepath.Join(dir, "results.md"))
+	if err != nil {
+		return err
+	}
+	defer md.Close()
+	return experiments.WriteMarkdown(md, results)
 }

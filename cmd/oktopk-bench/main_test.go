@@ -2,20 +2,22 @@ package main
 
 import (
 	"bytes"
-	"os"
+	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // TestExperimentIDsComplete: every table and figure of the paper has a
-// registered experiment.
+// registered runner.
 func TestExperimentIDsComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fillin",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
 	got := map[string]bool{}
-	for _, e := range experimentsList() {
-		got[e.id] = true
-		if e.desc == "" || e.run == nil {
-			t.Errorf("experiment %q incomplete", e.id)
+	for _, r := range experiments.Registry() {
+		got[r.ID] = true
+		if r.Desc == "" || r.Specs == nil || r.Render == nil {
+			t.Errorf("runner %q incomplete", r.ID)
 		}
 	}
 	for _, id := range want {
@@ -28,46 +30,34 @@ func TestExperimentIDsComplete(t *testing.T) {
 	}
 }
 
-// TestFullFlagChangesScale: -full must select the paper's cluster sizes.
+// TestFullFlagChangesScale: -full must select the paper's cluster sizes
+// while keeping the same runner set.
 func TestFullFlagChangesScale(t *testing.T) {
-	old := *full
-	defer func() { *full = old }()
-	*full = false
-	quick := experimentsList()
-	*full = true
-	fullList := experimentsList()
-	if len(quick) != len(fullList) {
-		t.Fatalf("experiment sets differ between scales")
+	quick, fullSc := experiments.QuickScale(), experiments.FullScale()
+	if quick.Table1Ps[len(quick.Table1Ps)-1] >= fullSc.Table1Ps[len(fullSc.Table1Ps)-1] {
+		t.Errorf("full scale should use larger clusters: %v vs %v", quick.Table1Ps, fullSc.Table1Ps)
+	}
+	if quick.ConvIters >= fullSc.ConvIters {
+		t.Errorf("full scale should train longer: %d vs %d", quick.ConvIters, fullSc.ConvIters)
+	}
+	for _, r := range experiments.Registry() {
+		if len(r.Specs(quick)) == 0 || len(r.Specs(fullSc)) == 0 {
+			t.Errorf("runner %q expands to no specs", r.ID)
+		}
 	}
 }
 
-// TestTable2Runs executes the cheapest experiment end to end, capturing
-// stdout.
+// TestTable2Runs executes the cheapest runner end to end through the
+// scheduler and renders its report.
 func TestTable2Runs(t *testing.T) {
-	var found func()
-	for _, e := range experimentsList() {
-		if e.id == "table2" {
-			found = e.run
-		}
-	}
-	if found == nil {
+	r, ok := experiments.FindRunner("table2")
+	if !ok {
 		t.Fatal("table2 not registered")
 	}
-	// Capture stdout around the run.
-	rd, wr, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	orig := os.Stdout
-	os.Stdout = wr
-	found()
-	wr.Close()
-	os.Stdout = orig
+	results := experiments.RunSpecs(r.Specs(experiments.QuickScale()), 2)
 	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(rd); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Contains(buf.Bytes(), []byte("VGG-16")) {
+	r.Render(&buf, results)
+	if !strings.Contains(buf.String(), "VGG-16") {
 		t.Errorf("table2 output missing model rows:\n%s", buf.String())
 	}
 }

@@ -13,16 +13,22 @@
 //	internal/core        the paper's contribution (O(k) sparse allreduce)
 //	internal/sparsecoll  baselines: TopkA, TopkDSA, gTopk, Gaussiank
 //	internal/allreduce   shared algorithm interface + dense baselines
-//	internal/collectives dense collective algorithms
+//	internal/collectives dense collective algorithms + wire-buffer pools
 //	internal/cluster     P-worker message-passing runtime (MPI stand-in)
 //	internal/netmodel    α-β cost model and phase-attributed clocks
 //	internal/topk        selection strategies and threshold reuse
 //	internal/sparse      COO sparse vectors
+//	internal/quant       stochastic value quantization (QSGD-style)
 //	internal/nn          layers and the three workload models
 //	internal/data        synthetic Cifar/AN4/Wikipedia stand-ins
+//	internal/optimizer   SGD/Adam update rules and LR schedules
 //	internal/train       distributed training sessions
-//	internal/experiments one runner per paper table/figure
-//	cmd/oktopk-bench     regenerate any experiment by id
+//	internal/checkpoint  save/restore of distributed training state
+//	internal/pipeline    hybrid data+pipeline parallelism (paper §6)
+//	internal/tensor      dense linear-algebra helpers and seeded RNG
+//	internal/trace       per-message event recording and timelines
+//	internal/experiments runner registry + parallel experiment scheduler
+//	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)
 //	cmd/oktopk-train     run one training configuration
 //	examples/            runnable walk-throughs of the public API
 //

@@ -29,41 +29,83 @@ type Message struct {
 	Depart float64 // simulated departure time at the sender
 }
 
-// mailbox is one rank's inbox: a mutex-protected queue with conditional
-// matching on (source, tag).
+// mbKey identifies one (source, tag) message stream into a mailbox.
+type mbKey struct {
+	src, tag int
+}
+
+// mbQueue is the FIFO for one (source, tag) stream. head indexes the
+// next message to deliver; popped slots are nilled and the backing array
+// is recycled once drained, so a long-lived stream does not grow without
+// bound. Each queue carries its own condition variable so a put wakes
+// only the receiver waiting on that exact stream, never the whole rank.
+type mbQueue struct {
+	cond *sync.Cond
+	msgs []*Message
+	head int
+}
+
+func (q *mbQueue) push(msg *Message) {
+	q.msgs = append(q.msgs, msg)
+}
+
+func (q *mbQueue) empty() bool { return q.head == len(q.msgs) }
+
+func (q *mbQueue) pop() *Message {
+	msg := q.msgs[q.head]
+	q.msgs[q.head] = nil
+	q.head++
+	if q.empty() {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return msg
+}
+
+// mailbox is one rank's inbox: per-(source, tag) FIFO queues under one
+// mutex. Matching is an O(1) map lookup instead of a linear scan, and
+// signaling is targeted at the stream's own condition variable instead
+// of broadcasting to every blocked receiver — the two hot-path costs of
+// the previous single-queue design.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*Message
+	mu     sync.Mutex
+	queues map[mbKey]*mbQueue
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{queues: make(map[mbKey]*mbQueue)}
+}
+
+// queue returns the stream for key, creating it on first use. Caller
+// holds mu.
+func (m *mailbox) queue(key mbKey) *mbQueue {
+	q := m.queues[key]
+	if q == nil {
+		q = &mbQueue{cond: sync.NewCond(&m.mu)}
+		m.queues[key] = q
+	}
+	return q
 }
 
 func (m *mailbox) put(msg *Message) {
 	m.mu.Lock()
-	m.queue = append(m.queue, msg)
+	q := m.queue(mbKey{msg.Src, msg.Tag})
+	q.push(msg)
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	q.cond.Signal()
 }
 
 // take removes and returns the first queued message matching (src, tag),
-// blocking until one arrives.
+// blocking until one arrives. FIFO order within one (src, tag) stream
+// preserves MPI's non-overtaking semantics.
 func (m *mailbox) take(src, tag int) *Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if msg.Src == src && msg.Tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
-			}
-		}
-		m.cond.Wait()
+	q := m.queue(mbKey{src, tag})
+	for q.empty() {
+		q.cond.Wait()
 	}
+	return q.pop()
 }
 
 // barrier is a reusable sense-reversing barrier that also synchronizes

@@ -79,6 +79,73 @@ func TestNonOvertakingSameTag(t *testing.T) {
 	}
 }
 
+// TestPerStreamMatchingNonOvertaking is the regression test for the
+// keyed-mailbox design: many interleaved (src, tag) streams into one
+// rank must each preserve send order, even when the receiver drains them
+// in an adversarial order (streams round-robined, tags descending) and
+// senders interleave their streams' messages arbitrarily.
+func TestPerStreamMatchingNonOvertaking(t *testing.T) {
+	const p = 4
+	const tags = 5
+	const perStream = 30
+	c := New(p, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			// Drain every (src, tag) stream one message at a time, in
+			// descending tag order, checking sequence numbers.
+			for m := 0; m < perStream; m++ {
+				for tag := tags - 1; tag >= 0; tag-- {
+					for src := 1; src < p; src++ {
+						got := cm.RecvFloat64(src, tag)
+						want := float64(src*1_000_000 + tag*1_000 + m)
+						if got[0] != want {
+							t.Errorf("stream (src=%d, tag=%d) overtaken: got %v want %v",
+								src, tag, got[0], want)
+						}
+					}
+				}
+			}
+			return nil
+		}
+		// Senders interleave their streams: message m of every tag before
+		// message m+1 of any tag, rotating the tag order per sender so
+		// arrival interleavings differ across sources.
+		for m := 0; m < perStream; m++ {
+			for i := 0; i < tags; i++ {
+				tag := (i + cm.Rank()) % tags
+				cm.Send(0, tag, []float64{float64(cm.Rank()*1_000_000 + tag*1_000 + m)}, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMailboxQueueRecycles: a drained stream resets its ring so a
+// long-lived (src, tag) pair does not grow its queue without bound.
+func TestMailboxQueueRecycles(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 1000; i++ {
+		m.put(&Message{Src: 1, Tag: 2, Data: i})
+		msg := m.take(1, 2)
+		if msg.Data.(int) != i {
+			t.Fatalf("wrong message %v at %d", msg.Data, i)
+		}
+	}
+	q := m.queues[mbKey{1, 2}]
+	if q == nil {
+		t.Fatal("queue missing")
+	}
+	if len(q.msgs) != 0 || q.head != 0 {
+		t.Errorf("drained queue not recycled: len=%d head=%d", len(q.msgs), q.head)
+	}
+	if cap(q.msgs) > 16 {
+		t.Errorf("drained queue retains %d slots", cap(q.msgs))
+	}
+}
+
 func TestBarrierSynchronizesClocks(t *testing.T) {
 	c := New(4, params())
 	times := make([]float64, 4)

@@ -67,7 +67,7 @@ func (g *Group) Send(dst, tag int, data any, words int) {
 
 // Recv receives from a group rank.
 func (g *Group) Recv(src, tag int) any {
-	return g.world.Recv(g.ranks[src], tag + g.tagShift)
+	return g.world.Recv(g.ranks[src], tag+g.tagShift)
 }
 
 // RecvFloat64 receives and type-asserts a []float64 payload.

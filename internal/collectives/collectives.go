@@ -95,13 +95,14 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		cm.Send(partner, tagAllreduce+s, append([]float64(nil), x[sendLo:sendHi]...), sendHi-sendLo)
+		cm.Send(partner, tagAllreduce+s, sendCopy(x[sendLo:sendHi]), sendHi-sendLo)
 		recv := cm.RecvFloat64(partner, tagAllreduce+s)
 		if len(recv) != keepHi-keepLo {
 			panic(fmt.Sprintf("collectives: rabenseifner block mismatch %d != %d", len(recv), keepHi-keepLo))
 		}
 		cm.Clock().Compute(float64(len(recv)))
 		tensor.Axpy(1, recv, x[keepLo:keepHi])
+		PutFloats(recv)
 		lo, hi = keepLo, keepHi
 	}
 	// Allgather by recursive doubling: reverse the halving, restoring
@@ -116,12 +117,13 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			partnerLo, partnerHi = parent.lo, lo
 		}
-		cm.Send(partner, tagAllreduce+1024+s, append([]float64(nil), x[lo:hi]...), hi-lo)
+		cm.Send(partner, tagAllreduce+1024+s, sendCopy(x[lo:hi]), hi-lo)
 		recv := cm.RecvFloat64(partner, tagAllreduce+1024+s)
 		if len(recv) != partnerHi-partnerLo {
 			panic(fmt.Sprintf("collectives: rabenseifner allgather mismatch %d != %d", len(recv), partnerHi-partnerLo))
 		}
 		copy(x[partnerLo:partnerHi], recv)
+		PutFloats(recv)
 		lo, hi = parent.lo, parent.hi
 	}
 }
@@ -138,24 +140,26 @@ func AllreduceRing(cm cluster.Endpoint, x []float64) {
 	// Reduce-scatter: at step s, send block (rank-s) and accumulate into
 	// block (rank-s-1).
 	for s := 0; s < p-1; s++ {
-		sb := ((rank - s) % p + p) % p
-		rb := ((rank - s - 1) % p + p) % p
+		sb := ((rank-s)%p + p) % p
+		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+2048+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		cm.Send(next, tagAllreduce+2048+s, sendCopy(x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+2048+s)
 		rlo, rhi := blockRange(n, p, rb)
 		cm.Clock().Compute(float64(rhi - rlo))
 		tensor.Axpy(1, recv, x[rlo:rhi])
+		PutFloats(recv)
 	}
 	// Allgather ring: circulate the finished blocks.
 	for s := 0; s < p-1; s++ {
-		sb := ((rank - s + 1) % p + p) % p
-		rb := ((rank - s) % p + p) % p
+		sb := ((rank-s+1)%p + p) % p
+		rb := ((rank-s)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+4096+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		cm.Send(next, tagAllreduce+4096+s, sendCopy(x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+4096+s)
 		rlo, rhi := blockRange(n, p, rb)
 		copy(x[rlo:rhi], recv)
+		PutFloats(recv)
 	}
 }
 
@@ -171,14 +175,15 @@ func ReduceScatterBlock(cm cluster.Endpoint, x []float64) (lo, hi int) {
 	next := (rank + 1) % p
 	prev := (rank - 1 + p) % p
 	for s := 0; s < p-1; s++ {
-		sb := ((rank - s) % p + p) % p
-		rb := ((rank - s - 1) % p + p) % p
+		sb := ((rank-s)%p + p) % p
+		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+8192+s, append([]float64(nil), x[slo:shi]...), shi-slo)
+		cm.Send(next, tagAllreduce+8192+s, sendCopy(x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+8192+s)
 		rlo, rhi := blockRange(n, p, rb)
 		cm.Clock().Compute(float64(rhi - rlo))
 		tensor.Axpy(1, recv, x[rlo:rhi])
+		PutFloats(recv)
 	}
 	return blockRange(n, p, (rank+1)%p)
 }
@@ -206,9 +211,10 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 			myBase := rank &^ (dist - 1)
 			partnerBase := partner &^ (dist - 1)
 			myLo := myBase * bn
-			cm.Send(partner, tagAllgather+s, append([]float64(nil), out[myLo:myLo+dist*bn]...), dist*bn)
+			cm.Send(partner, tagAllgather+s, sendCopy(out[myLo:myLo+dist*bn]), dist*bn)
 			recv := cm.RecvFloat64(partner, tagAllgather+s)
 			copy(out[partnerBase*bn:(partnerBase+dist)*bn], recv)
+			PutFloats(recv)
 		}
 		return
 	}
@@ -216,11 +222,12 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 	next := (rank + 1) % p
 	prev := (rank - 1 + p) % p
 	for s := 0; s < p-1; s++ {
-		sb := ((rank - s) % p + p) % p
-		rb := ((rank - s - 1) % p + p) % p
-		cm.Send(next, tagAllgather+1024+s, append([]float64(nil), out[sb*bn:(sb+1)*bn]...), bn)
+		sb := ((rank-s)%p + p) % p
+		rb := ((rank-s-1)%p + p) % p
+		cm.Send(next, tagAllgather+1024+s, sendCopy(out[sb*bn:(sb+1)*bn]), bn)
 		recv := cm.RecvFloat64(prev, tagAllgather+1024+s)
 		copy(out[rb*bn:(rb+1)*bn], recv)
+		PutFloats(recv)
 	}
 }
 
@@ -341,7 +348,7 @@ func Reduce(cm cluster.Endpoint, root int, x []float64) {
 	for d := 1; d < p; d *= 2 {
 		if vrank&d != 0 {
 			parent := (vrank&^d + root) % p
-			cm.Send(parent, tagReduce+d, append([]float64(nil), x...), len(x))
+			cm.Send(parent, tagReduce+d, sendCopy(x), len(x))
 			return
 		}
 		child := vrank | d
@@ -349,6 +356,7 @@ func Reduce(cm cluster.Endpoint, root int, x []float64) {
 			recv := cm.RecvFloat64((child+root)%p, tagReduce+d)
 			cm.Clock().Compute(float64(len(recv)))
 			tensor.Axpy(1, recv, x)
+			PutFloats(recv)
 		}
 	}
 }

@@ -283,7 +283,7 @@ func TestGatherChunks(t *testing.T) {
 // TestAllreduceVolume checks the bandwidth term of the dense allreduce
 // against the 2n(P−1)/P model from Table 1.
 func TestAllreduceVolume(t *testing.T) {
-	p, n := 8, 1 << 12
+	p, n := 8, 1<<12
 	c := runCluster(t, p, func(cm *cluster.Comm) error {
 		x := rankVector(cm.Rank(), n)
 		Allreduce(cm, x)

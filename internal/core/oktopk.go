@@ -54,6 +54,27 @@ type OkTopk struct {
 	// Reduce, excluding the amortized threshold/boundary maintenance
 	// traffic; tests check it against the 6k(P−1)/P bound.
 	lastVolume int
+
+	scratch scratch
+}
+
+// scratch holds per-instance buffers reused across Reduce calls. A
+// rank's Reduce calls are serial, so reuse is safe as long as nothing
+// here is ever handed to another rank or to the caller by reference:
+// wire payloads are copied into pooled buffers owned by the message
+// (released by the receiver), and returned Results only carry freshly
+// allocated slices.
+type scratch struct {
+	localIdx  []int32
+	regionIdx [][]int32
+	regionVal [][]float64
+	// red is the owned-region reduction buffer. It is kept all-zero
+	// between calls: splitAndReduce zeroes exactly the touched offsets
+	// while extracting the reduced values, so region-boundary changes
+	// (every τ iterations) can resize it freely.
+	red     []float64
+	touched []int32
+	vals    []float64
 }
 
 // New returns a per-worker Ok-Topk instance. The config's zero values
@@ -116,9 +137,10 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 	localTh := o.localCtl.ThresholdFor(t, acc, k)
 
 	// Local top-k selection by threshold: one O(n) scan, split directly
-	// into regions below.
+	// into regions below. The index buffer is per-instance scratch.
 	allreduce.ChargeScan(cm, o.cfg, n)
-	localIdx := topk.SelectByThreshold(acc, localTh)
+	o.scratch.localIdx = topk.AppendSelectByThreshold(o.scratch.localIdx[:0], acc, localTh)
+	localIdx := o.scratch.localIdx
 
 	if p == 1 {
 		update := make([]float64, n)
@@ -126,8 +148,9 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 			update[idx] = acc[idx]
 		}
 		o.lastVolume = 0
-		return allreduce.Result{Update: update, Contributed: localIdx,
-			LocalK: len(localIdx), GlobalK: len(localIdx)}
+		return allreduce.Result{Update: update,
+			Contributed: append([]int32(nil), localIdx...),
+			LocalK:      len(localIdx), GlobalK: len(localIdx)}
 	}
 
 	volume0 := cm.Clock().Snapshot().SentWords
@@ -219,6 +242,9 @@ func (o *OkTopk) wireChunk(rng *rand.Rand, idx []int32, val []float64) collectiv
 		q := quant.Quantize(rng, val, o.cfg.QuantBits)
 		ch.Data = q.Dequantize()
 		ch.WordsOverride = q.Words() + len(idx)
+		// The chunk now carries the dequantized copy; val has no other
+		// referent at any call site, so recycle it.
+		collectives.PutFloats(val)
 	}
 	return ch
 }
@@ -239,9 +265,19 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 	cm.Clock().SetPhase(netmodel.PhaseComm)
 	defer cm.Clock().SetPhase(netmodel.PhaseCompute)
 
-	// Slice the sorted selected indexes into regions with one pass.
-	regionIdx := make([][]int32, p)
-	regionVal := make([][]float64, p)
+	// Slice the sorted selected indexes into regions with one pass. The
+	// region slices are per-instance scratch; wire copies are made at
+	// send time, so no other rank ever references them.
+	if len(o.scratch.regionIdx) < p {
+		o.scratch.regionIdx = make([][]int32, p)
+		o.scratch.regionVal = make([][]float64, p)
+	}
+	regionIdx := o.scratch.regionIdx[:p]
+	regionVal := o.scratch.regionVal[:p]
+	for r := range regionIdx {
+		regionIdx[r] = regionIdx[r][:0]
+		regionVal[r] = regionVal[r][:0]
+	}
 	j := 0
 	for _, idx := range localIdx {
 		for int(idx) >= o.boundaries[j+1] {
@@ -251,10 +287,24 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		regionVal[j] = append(regionVal[j], acc[idx])
 	}
 
-	// Reduction buffer for my region, plus the touched-index set.
+	// wire copies region dst into pooled buffers owned by the outgoing
+	// message; the receiver releases them after accumulating.
+	wire := func(dst int) collectives.Chunk {
+		idx := collectives.GetInt32s(len(regionIdx[dst]))
+		copy(idx, regionIdx[dst])
+		val := collectives.GetFloats(len(regionVal[dst]))
+		copy(val, regionVal[dst])
+		return o.wireChunk(qrng, idx, val)
+	}
+
+	// Reduction buffer for my region (scratch, all-zero on entry), plus
+	// the touched-index set.
 	lo, hi := o.boundaries[rank], o.boundaries[rank+1]
-	buf := make([]float64, hi-lo)
-	var touched []int32
+	if cap(o.scratch.red) < hi-lo {
+		o.scratch.red = make([]float64, hi-lo)
+	}
+	buf := o.scratch.red[:hi-lo]
+	touched := o.scratch.touched[:0]
 	accumulate := func(idxs []int32, vals []float64) {
 		for i, idx := range idxs {
 			off := int(idx) - lo
@@ -264,6 +314,12 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 			buf[off] += vals[i]
 		}
 		cm.Clock().Compute(float64(len(idxs)))
+	}
+	receive := func(src, tag int) {
+		ch := cm.Recv(src, tag).(collectives.Chunk)
+		accumulate(ch.Aux, ch.Data)
+		collectives.PutInt32s(ch.Aux)
+		collectives.PutFloats(ch.Data)
 	}
 	accumulate(regionIdx[rank], regionVal[rank])
 
@@ -283,13 +339,11 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 			}
 			for s := base; s < end; s++ {
 				dst := (rank + s) % p
-				ch := o.wireChunk(qrng, regionIdx[dst], regionVal[dst])
+				ch := wire(dst)
 				cm.Send(dst, tagSplit+s, ch, ch.Words())
 			}
 			for s := base; s < end; s++ {
-				src := (rank - s + p) % p
-				ch := cm.Recv(src, tagSplit+s).(collectives.Chunk)
-				accumulate(ch.Aux, ch.Data)
+				receive((rank-s+p)%p, tagSplit+s)
 			}
 		}
 	} else {
@@ -301,21 +355,28 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 					if src == rank {
 						continue
 					}
-					ch := cm.Recv(src, tagSplit+s).(collectives.Chunk)
-					accumulate(ch.Aux, ch.Data)
+					receive(src, tagSplit+s)
 				}
 			} else {
-				ch := o.wireChunk(qrng, regionIdx[s], regionVal[s])
+				ch := wire(s)
 				cm.Send(s, tagSplit+s, ch, ch.Words())
 			}
 		}
 	}
 
 	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
-	vals := make([]float64, len(touched))
-	for i, idx := range touched {
-		vals[i] = buf[int(idx)-lo]
+	vals := o.scratch.vals
+	if cap(vals) < len(touched) {
+		vals = make([]float64, len(touched))
 	}
+	vals = vals[:len(touched)]
+	for i, idx := range touched {
+		off := int(idx) - lo
+		vals[i] = buf[off]
+		buf[off] = 0 // restore the all-zero invariant for the next call
+	}
+	o.scratch.touched = touched
+	o.scratch.vals = vals
 	return touched, vals
 }
 

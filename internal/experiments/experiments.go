@@ -43,7 +43,7 @@ func SyntheticGradients(seed int64, p, n, heavy int, skew float64) [][]float64 {
 			if rng.Float64() < skew {
 				c := centers[rng.Intn(len(centers))]
 				off := int(rng.NormFloat64() * float64(n) * 0.02)
-				idx = ((c + off) % n + n) % n
+				idx = ((c+off)%n + n) % n
 			} else {
 				idx = rng.Intn(n)
 			}
@@ -58,16 +58,47 @@ func SyntheticGradients(seed int64, p, n, heavy int, skew float64) [][]float64 {
 	return grads
 }
 
+// table1Algorithms lists the Table 1 rows in paper order.
+var table1Algorithms = []string{"Dense", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"}
+
+// Table1Col is one cluster-size column of Table 1: per-algorithm
+// mean/max per-rank sent words measured at steady state.
+type Table1Col struct {
+	P, N, K   int
+	Mean, Max map[string]float64
+}
+
 // Table1 prints the analytic cost-model terms of all algorithms next to
 // the per-rank volumes measured from the simulator (n=1M-scale synthetic
 // gradient, steady state). The measured column validates the bandwidth
 // terms: TopkA/Gaussiank grow ∝P, TopkDSA sits between 4k and 2k+n,
 // gTopk grows with log P, Ok-Topk stays within [2k, 6k]·(P−1)/P.
+//
+// It is the serial composition of the registry's table1 specs; the
+// parallel scheduler produces the identical output through renderTable1.
 func Table1(w io.Writer, ps []int, n, k int) {
+	renderTable1(w, RunSpecs(table1Specs(ps, n, k), 1))
+}
+
+// renderTable1 reassembles the Table 1 report from per-P measurement
+// columns.
+func renderTable1(w io.Writer, rs []Result) {
+	var cols []Table1Col
+	for _, r := range rs {
+		if r.Err != nil {
+			fmt.Fprintf(w, "  %s: FAILED: %v\n", r.Spec.Config, r.Err)
+			continue
+		}
+		cols = append(cols, r.Outcome.Payload.(Table1Col))
+	}
+	if len(cols) == 0 {
+		return
+	}
+	n, k := cols[0].N, cols[0].K
 	fmt.Fprintf(w, "Table 1: communication volume per rank (words; n=%d, k=%d)\n", n, k)
 	fmt.Fprintf(w, "%-10s %-28s", "Algorithm", "Analytic bandwidth term")
-	for _, p := range ps {
-		fmt.Fprintf(w, " P=%-9d", p)
+	for _, c := range cols {
+		fmt.Fprintf(w, " P=%-9d", c.P)
 	}
 	fmt.Fprintln(w)
 
@@ -84,24 +115,14 @@ func Table1(w io.Writer, ps []int, n, k int) {
 		{"Gaussiank", "2k(P-1)", func(p int) float64 { return 2 * float64(k) * float64(p-1) }},
 		{"OkTopk", "[2k(P-1)/P, 6k(P-1)/P]", func(p int) float64 { return 6 * float64(k) * float64(p-1) / float64(p) }},
 	}
-	type stat struct{ mean, max float64 }
-	measured := map[string]map[int]stat{}
-	for _, name := range []string{"Dense", "TopkA", "TopkDSA", "gTopk", "Gaussiank", "OkTopk"} {
-		measured[name] = map[int]stat{}
-		for _, p := range ps {
-			mean, max := MeasureVolumeStats(name, p, n, k)
-			measured[name][p] = stat{mean, max}
-		}
-	}
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s %-28s", r.name, r.analytic)
-		for _, p := range ps {
-			s := measured[r.name][p]
-			fmt.Fprintf(w, " %-9.0f/%-9.0f", s.mean, s.max)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %-9.0f/%-9.0f", c.Mean[r.name], c.Max[r.name])
 		}
 		fmt.Fprintf(w, "  (model bound")
-		for _, p := range ps {
-			fmt.Fprintf(w, " %.0f", r.fn(p))
+		for _, c := range cols {
+			fmt.Fprintf(w, " %.0f", r.fn(c.P))
 		}
 		fmt.Fprintln(w, ")")
 	}
@@ -155,6 +176,19 @@ func MeasureVolumeStats(name string, p, n, k int) (mean, max float64) {
 		}
 	}
 	return sum / float64(p), max
+}
+
+// table2Metrics exposes the model inventory as metrics for the emitters.
+func table2Metrics() []Metric {
+	var ms []Metric
+	for _, load := range []string{"VGG", "LSTM", "BERT"} {
+		wl := train.NewWorkload(load, 1, 2)
+		ms = append(ms,
+			Metric{load + "/paper_n", float64(wl.PaperN())},
+			Metric{load + "/repo_n", float64(wl.N())},
+		)
+	}
+	return ms
 }
 
 // Table2 prints the model inventory: the paper's models and the
@@ -425,11 +459,11 @@ func absf(v float64) float64 {
 
 // FillInResult reports the §5.2 output-density statistics for TopkDSA.
 type FillInResult struct {
-	Workload    string
-	Density     float64
-	P           int
-	MeanFill    float64
-	Expansion   float64 // MeanFill / Density
+	Workload  string
+	Density   float64
+	P         int
+	MeanFill  float64
+	Expansion float64 // MeanFill / Density
 }
 
 // FillIn measures TopkDSA's output density during short training runs

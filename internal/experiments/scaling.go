@@ -124,12 +124,12 @@ func PrintFigure7(w io.Writer, rs []LoadBalanceResult) {
 // Breakdown is one stacked bar of the weak-scaling figures: mean modeled
 // seconds per iteration by phase.
 type Breakdown struct {
-	Algorithm   string
-	P           int
-	Sparsify    float64
-	Comm        float64
-	Compute     float64
-	Total       float64
+	Algorithm string
+	P         int
+	Sparsify  float64
+	Comm      float64
+	Compute   float64
+	Total     float64
 }
 
 // WeakScaling runs every algorithm of the paper's comparison on the

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the parallel experiment scheduler. Every paper table and
+// figure expands into a grid of independent configurations (cluster
+// size × density × workload × algorithm); each configuration builds its
+// own simulated cluster and fixed seeds, so configurations can execute
+// concurrently without sharing any state. The scheduler runs a spec list
+// on a bounded worker pool and aggregates results in spec order, which
+// makes the rendered output of a parallel run byte-identical to a serial
+// run.
+
+// Metric is one named measurement produced by a configuration — the
+// atoms the CSV/markdown emitters and EXPERIMENTS.md are built from.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Outcome is what one configuration run produces: flat metrics for the
+// emitters plus an optional payload (e.g. a ThresholdSnapshot) that the
+// runner's renderer uses to reproduce the paper-style report.
+type Outcome struct {
+	Metrics []Metric
+	Payload any
+}
+
+// Spec is one independent experiment configuration.
+type Spec struct {
+	// Runner is the table/figure id this configuration belongs to
+	// (e.g. "fig5").
+	Runner string
+	// Config names the configuration within the runner
+	// (e.g. "VGG P=4").
+	Config string
+	// Seed is the deterministic per-configuration seed. When zero, the
+	// scheduler derives it from (Runner, Config) with SeedFor, so a
+	// configuration's seed never depends on execution order or worker
+	// count.
+	Seed int64
+	// Run executes the configuration. It must be self-contained: no
+	// shared mutable state, no reliance on other specs having run.
+	Run func(s Spec) Outcome
+}
+
+// Result pairs a spec with its outcome. Seconds is host wall-clock time
+// (excluded from the emitters, which must stay deterministic).
+type Result struct {
+	Spec    Spec
+	Outcome Outcome
+	Seconds float64
+	Err     error
+}
+
+// SeedFor derives a stable 63-bit seed from configuration name parts
+// (FNV-1a). Identical parts always yield the identical seed, so serial
+// and parallel schedules agree.
+func SeedFor(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// RunSpecs executes specs with at most parallel concurrent workers and
+// returns results in spec order. A panicking spec is captured into its
+// Result.Err without disturbing the others. parallel <= 1 runs serially;
+// the outcomes (and any rendering derived from them) are identical
+// either way, because every spec is seeded deterministically and owns
+// its simulated cluster.
+func RunSpecs(specs []Spec, parallel int) []Result {
+	if parallel < 1 {
+		parallel = 1
+	}
+	results := make([]Result, len(specs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		if s.Seed == 0 {
+			s.Seed = SeedFor(s.Runner, s.Config)
+		}
+		wg.Add(1)
+		go func(i int, s Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := Result{Spec: s}
+			start := time.Now()
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						res.Err = fmt.Errorf("experiments: %s/%s panicked: %v", s.Runner, s.Config, p)
+					}
+				}()
+				res.Outcome = s.Run(s)
+			}()
+			res.Seconds = time.Since(start).Seconds()
+			results[i] = res
+		}(i, s)
+	}
+	wg.Wait()
+	return results
+}
+
+// csvField quotes a CSV field when it contains a delimiter, quote or
+// newline.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteCSV emits all metrics in long form (runner,config,metric,value).
+// Host wall-clock times are deliberately omitted: the CSV depends only
+// on the deterministic simulation, so two runs at any parallelism
+// produce byte-identical files.
+func WriteCSV(w io.Writer, rs []Result) error {
+	if _, err := fmt.Fprintln(w, "runner,config,metric,value"); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,error,%s\n",
+				csvField(r.Spec.Runner), csvField(r.Spec.Config), csvField(r.Err.Error())); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, m := range r.Outcome.Metrics {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%g\n",
+				csvField(r.Spec.Runner), csvField(r.Spec.Config), csvField(m.Name), m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown emits the metrics grouped by runner as markdown tables —
+// the measured side of EXPERIMENTS.md's paper-vs-measured comparison.
+func WriteMarkdown(w io.Writer, rs []Result) error {
+	order := make([]string, 0)
+	byRunner := make(map[string][]Result)
+	for _, r := range rs {
+		if _, ok := byRunner[r.Spec.Runner]; !ok {
+			order = append(order, r.Spec.Runner)
+		}
+		byRunner[r.Spec.Runner] = append(byRunner[r.Spec.Runner], r)
+	}
+	for _, runner := range order {
+		if _, err := fmt.Fprintf(w, "## %s\n\n| config | metric | value |\n|---|---|---:|\n", runner); err != nil {
+			return err
+		}
+		for _, r := range byRunner[runner] {
+			if r.Err != nil {
+				if _, err := fmt.Fprintf(w, "| %s | error | %v |\n", r.Spec.Config, r.Err); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, m := range r.Outcome.Metrics {
+				if _, err := fmt.Fprintf(w, "| %s | %s | %.6g |\n", r.Spec.Config, m.Name, m.Value); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

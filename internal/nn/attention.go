@@ -60,11 +60,11 @@ func (e *Embedding) Backward(dout *tensor.Mat) {
 // LayerNorm normalizes each row to zero mean / unit variance and applies
 // a learned affine transform.
 type LayerNorm struct {
-	Dim        int
-	gamma, gg  []float64
-	beta, gb   []float64
-	xHat       *tensor.Mat
-	invStd     []float64
+	Dim       int
+	gamma, gg []float64
+	beta, gb  []float64
+	xHat      *tensor.Mat
+	invStd    []float64
 }
 
 // LayerNormSize returns the parameter count.
@@ -138,10 +138,10 @@ type MultiHeadAttention struct {
 	wq, wk, wv, wo     *Linear
 
 	// caches
-	batch      int
-	q, k, v    *tensor.Mat
-	attn       []*tensor.Mat // per (batch*head): S×S softmax weights
-	concatOut  *tensor.Mat
+	batch     int
+	q, k, v   *tensor.Mat
+	attn      []*tensor.Mat // per (batch*head): S×S softmax weights
+	concatOut *tensor.Mat
 }
 
 // MultiHeadAttentionSize returns the parameter count.

@@ -9,12 +9,12 @@ import (
 // standing in for VGG-16 on Cifar-10 (see DESIGN.md for the
 // substitution rationale). Input rows pack 3×32×32 images.
 type VGGNarrow struct {
-	store                *Store
-	conv1, conv2, conv3  *Conv2D
-	r1, r2, r3, r4       *ReLU
-	pool1, pool2, pool3  *MaxPool2
-	fc1, fc2             *Linear
-	Classes              int
+	store               *Store
+	conv1, conv2, conv3 *Conv2D
+	r1, r2, r3, r4      *ReLU
+	pool1, pool2, pool3 *MaxPool2
+	fc1, fc2            *Linear
+	Classes             int
 }
 
 // VGGNarrowSize returns the parameter count for the given channel widths.
@@ -28,11 +28,11 @@ func NewVGGNarrow(seed int64, c1, c2, c3, hidden, classes int) *VGGNarrow {
 	r := tensor.RNG(seed)
 	s := NewStore(VGGNarrowSize(c1, c2, c3, hidden, classes))
 	m := &VGGNarrow{
-		store:   s,
-		conv1:   NewConv2D(s, r, 3, c1, 32, 32),
-		conv2:   NewConv2D(s, r, c1, c2, 16, 16),
-		conv3:   NewConv2D(s, r, c2, c3, 8, 8),
-		r1:      &ReLU{}, r2: &ReLU{}, r3: &ReLU{}, r4: &ReLU{},
+		store: s,
+		conv1: NewConv2D(s, r, 3, c1, 32, 32),
+		conv2: NewConv2D(s, r, c1, c2, 16, 16),
+		conv3: NewConv2D(s, r, c2, c3, 8, 8),
+		r1:    &ReLU{}, r2: &ReLU{}, r3: &ReLU{}, r4: &ReLU{},
 		pool1:   NewMaxPool2(c1, 32, 32),
 		pool2:   NewMaxPool2(c2, 16, 16),
 		pool3:   NewMaxPool2(c3, 8, 8),

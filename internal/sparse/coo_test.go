@@ -187,11 +187,11 @@ func TestMeasureFillIn(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	cases := []*Vec{
-		{Dim: 5, Indexes: []int32{0, 0}, Values: []float64{1, 1}},  // dup
-		{Dim: 5, Indexes: []int32{3, 1}, Values: []float64{1, 1}},  // unsorted
-		{Dim: 5, Indexes: []int32{7}, Values: []float64{1}},        // out of range
-		{Dim: 5, Indexes: []int32{1, 2}, Values: []float64{1}},     // length
-		{Dim: 5, Indexes: []int32{-1}, Values: []float64{1}},       // negative
+		{Dim: 5, Indexes: []int32{0, 0}, Values: []float64{1, 1}}, // dup
+		{Dim: 5, Indexes: []int32{3, 1}, Values: []float64{1, 1}}, // unsorted
+		{Dim: 5, Indexes: []int32{7}, Values: []float64{1}},       // out of range
+		{Dim: 5, Indexes: []int32{1, 2}, Values: []float64{1}},    // length
+		{Dim: 5, Indexes: []int32{-1}, Values: []float64{1}},      // negative
 	}
 	for i, v := range cases {
 		if v.Validate() == nil {

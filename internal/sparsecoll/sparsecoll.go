@@ -36,6 +36,33 @@ import (
 // cooWords is the COO wire size of k nonzeros (k values + k indexes).
 func cooWords(nnz int) int { return 2 * nnz }
 
+// slicePooled is Vec.Slice with the copy drawn from the wire-buffer
+// pool. It backs the point-to-point payloads of TopkDSA's recursive
+// halving, where every message has exactly one consumer: the receiver
+// merges it and releases the buffers with releaseVec. Payloads that fan
+// out to several ranks (allgathered chunks, gTopk's broadcast tree) must
+// keep using plain allocations.
+func slicePooled(v *sparse.Vec, lo, hi int32) *sparse.Vec {
+	start := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= lo })
+	end := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= hi })
+	n := end - start
+	out := &sparse.Vec{
+		Dim:     v.Dim,
+		Indexes: collectives.GetInt32s(n),
+		Values:  collectives.GetFloats(n),
+	}
+	copy(out.Indexes, v.Indexes[start:end])
+	copy(out.Values, v.Values[start:end])
+	return out
+}
+
+// releaseVec returns a pooled vector's buffers to the wire-buffer pool.
+func releaseVec(v *sparse.Vec) {
+	collectives.PutInt32s(v.Indexes)
+	collectives.PutFloats(v.Values)
+	v.Indexes, v.Values = nil, nil
+}
+
 // localTopk selects the exact top-k entries of acc (by |value|) the way
 // the baselines do with torch.topk, charging the sort-based cost, and
 // returns them as a sparse vector.
@@ -198,7 +225,7 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		out := cur.Slice(int32(sendLo), int32(sendHi))
+		out := slicePooled(cur, int32(sendLo), int32(sendHi))
 		// Dynamic format switch: ship whichever representation is
 		// smaller for this piece — COO (2·nnz) or dense (width).
 		words := cooWords(out.NNZ())
@@ -207,9 +234,11 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		}
 		cm.Send(partner, tagDSA+s, out, words)
 		in := cm.Recv(partner, tagDSA+s).(*sparse.Vec)
-		kept := cur.Slice(int32(keepLo), int32(keepHi))
+		kept := slicePooled(cur, int32(keepLo), int32(keepHi))
 		cm.Clock().Compute(float64(kept.NNZ() + in.NNZ()))
 		cur = sparse.Add(kept, in)
+		releaseVec(kept)
+		releaseVec(in)
 		lo, hi = keepLo, keepHi
 	}
 

@@ -96,13 +96,19 @@ func SelectIndexes(x []float64, k int) []int32 {
 // Exact zeros are never selected: a zero carries no information and a COO
 // representation would not store it.
 func SelectByThreshold(x []float64, th float64) []int32 {
-	var out []int32
+	return AppendSelectByThreshold(nil, x, th)
+}
+
+// AppendSelectByThreshold is SelectByThreshold appending into dst
+// (typically a reused scratch slice sliced to length zero), so steady-
+// state callers avoid reallocating the index buffer every iteration.
+func AppendSelectByThreshold(dst []int32, x []float64, th float64) []int32 {
 	for i, v := range x {
 		if (v >= th || -v >= th) && v != 0 {
-			out = append(out, int32(i))
+			dst = append(dst, int32(i))
 		}
 	}
-	return out
+	return dst
 }
 
 // CountAbove returns |{i : |x_i| >= th, x_i ≠ 0}| without materializing

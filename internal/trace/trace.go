@@ -31,12 +31,12 @@ func (k Kind) String() string {
 
 // Event is one recorded message endpoint.
 type Event struct {
-	Kind     Kind
-	Rank     int     // the rank where the event happened
-	Peer     int     // the other endpoint
-	Tag      int
-	Words    int
-	Time     float64 // simulated seconds (departure for sends, delivery for recvs)
+	Kind  Kind
+	Rank  int // the rank where the event happened
+	Peer  int // the other endpoint
+	Tag   int
+	Words int
+	Time  float64 // simulated seconds (departure for sends, delivery for recvs)
 }
 
 // Recorder collects events from all ranks. It is safe for concurrent
@@ -98,10 +98,10 @@ func (r *Recorder) WriteTimeline(w io.Writer, limit int) {
 
 // RankLoad summarizes one rank's traffic.
 type RankLoad struct {
-	Rank              int
-	SentMsgs, RecvMsgs int
+	Rank                 int
+	SentMsgs, RecvMsgs   int
 	SentWords, RecvWords int
-	LastDelivery      float64
+	LastDelivery         float64
 }
 
 // Summarize aggregates the recording per rank; the receive-side word

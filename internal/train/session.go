@@ -1,3 +1,10 @@
+// Package train runs distributed data-parallel training sessions on the
+// simulated cluster: P trainers (one per rank), each holding a workload
+// replica (VGG, LSTM or BERT), an error-feedback residual, and a
+// gradient-reduction algorithm, stepped collectively one iteration at a
+// time with per-phase modeled timing. It also provides the algorithm
+// and workload factories the experiments layer builds configurations
+// from, and checkpoint integration for stop/resume.
 package train
 
 import (
@@ -99,10 +106,10 @@ type Session struct {
 // IterStats aggregates one collective iteration.
 type IterStats struct {
 	Iter        int
-	Loss        float64 // mean over ranks
-	Accuracy    float64 // correct/total over all ranks
-	LocalK      float64 // mean local selection count
-	GlobalK     float64 // mean global selection count
+	Loss        float64    // mean over ranks
+	Accuracy    float64    // correct/total over all ranks
+	LocalK      float64    // mean local selection count
+	GlobalK     float64    // mean global selection count
 	Phase       [3]float64 // mean per-rank modeled seconds [compute, sparsify, comm]
 	IterSeconds float64    // max over ranks (the iteration's critical path)
 }

@@ -48,11 +48,11 @@ type Trainer struct {
 
 // StepStats reports one training iteration of one rank.
 type StepStats struct {
-	Loss     float64
-	Correct  int
-	Total    int
-	LocalK   int
-	GlobalK  int
+	Loss    float64
+	Correct int
+	Total   int
+	LocalK  int
+	GlobalK int
 	// Phase times in modeled seconds for this iteration, after the
 	// overlap discount: [compute, sparsify, comm].
 	Phase [3]float64
