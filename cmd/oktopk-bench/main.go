@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 var (
@@ -34,6 +35,8 @@ var (
 		"max experiment configurations run concurrently (1 = serial; results are identical at any setting)")
 	outDir = flag.String("out", "",
 		"directory to write aggregated results.csv and results.md into")
+	workers = flag.Int("workers", 0,
+		"tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
 )
 
 func scale() experiments.Scale {
@@ -53,6 +56,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	tensor.SetWorkers(*workers)
 	id := flag.Arg(0)
 	switch id {
 	case "list":

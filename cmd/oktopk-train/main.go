@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/allreduce"
 	"repro/internal/netmodel"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -30,8 +31,10 @@ func main() {
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		evalEvery = flag.Int("eval", 20, "evaluate every N iterations")
 		commodity = flag.Bool("commodity", false, "use commodity-cloud network constants")
+		workers   = flag.Int("workers", 0, "tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
 	)
 	flag.Parse()
+	tensor.SetWorkers(*workers)
 
 	cfg := train.Config{
 		Workload:  *workload,

@@ -25,7 +25,8 @@
 //	internal/train       distributed training sessions
 //	internal/checkpoint  save/restore of distributed training state
 //	internal/pipeline    hybrid data+pipeline parallelism (paper §6)
-//	internal/tensor      dense linear-algebra helpers and seeded RNG
+//	internal/tensor      deterministic parallel compute kernels (worker
+//	                     pool, row-owned GEMMs, Mat scratch) + seeded RNG
 //	internal/trace       per-message event recording and timelines
 //	internal/experiments runner registry + parallel experiment scheduler
 //	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)

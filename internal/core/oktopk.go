@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/allreduce"
 	"repro/internal/cluster"
@@ -75,6 +74,18 @@ type scratch struct {
 	red     []float64
 	touched []int32
 	vals    []float64
+	// Merge scratch: the touched-index list is a concatenation of
+	// per-source sorted runs (one per accumulate call) whose end
+	// offsets land in runEnds; MergeRuns sorts it against mergeSpare
+	// without allocating. gidx/gidxEnds are the same machinery for the
+	// allgathered global index runs, and thScratch/gatherBuf back the
+	// periodic exact global-threshold re-evaluation.
+	runEnds    []int
+	mergeSpare []int32
+	gidx       []int32
+	gidxEnds   []int
+	thScratch  []float64
+	gatherBuf  []float64
 }
 
 // New returns a per-worker Ok-Topk instance. The config's zero values
@@ -164,15 +175,19 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 	reducedIdx, reducedVal := o.splitAndReduce(cm, acc, localIdx, t)
 
 	// Lines 9-12: global threshold re-evaluation every τ′ iterations,
-	// from the allgathered reduced top-k values.
+	// from the allgathered reduced top-k values. (The chunk copy is
+	// required: allgathered payloads fan out to several ranks.)
 	if o.globalCtl.ShouldReevaluate(t) {
 		chunks := collectives.Allgatherv(cm, collectives.Chunk{Data: append([]float64(nil), reducedVal...)})
-		var all []float64
+		all := o.scratch.gatherBuf[:0]
 		for _, ch := range chunks {
 			all = append(all, ch.Data...)
 		}
+		o.scratch.gatherBuf = all
 		allreduce.ChargeSort(cm, o.cfg, len(all))
-		o.globalCtl.Set(topk.Threshold(all, k))
+		var th float64
+		th, o.scratch.thScratch = topk.ThresholdInto(all, k, o.scratch.thScratch)
+		o.globalCtl.Set(th)
 	}
 	globalTh := o.globalCtl.Current()
 
@@ -261,7 +276,13 @@ func quantRNG(rank, t int) *rand.Rand {
 // index/value slices (indexes sorted ascending).
 func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []int32, t int) ([]int32, []float64) {
 	p, rank := cm.Size(), cm.Rank()
-	qrng := quantRNG(rank, t)
+	// The stochastic-quantization RNG is only needed with the extension
+	// enabled; seeding one costs more than a whole wire copy, so skip
+	// it in the paper's (unquantized) configuration.
+	var qrng *rand.Rand
+	if o.cfg.QuantBits > 0 {
+		qrng = quantRNG(rank, t)
+	}
 	cm.Clock().SetPhase(netmodel.PhaseComm)
 	defer cm.Clock().SetPhase(netmodel.PhaseCompute)
 
@@ -305,6 +326,7 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 	}
 	buf := o.scratch.red[:hi-lo]
 	touched := o.scratch.touched[:0]
+	runEnds := o.scratch.runEnds[:0]
 	accumulate := func(idxs []int32, vals []float64) {
 		for i, idx := range idxs {
 			off := int(idx) - lo
@@ -313,6 +335,9 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 			}
 			buf[off] += vals[i]
 		}
+		// Each source's newly touched indexes arrive in ascending order,
+		// so touched is a concatenation of sorted runs.
+		runEnds = append(runEnds, len(touched))
 		cm.Clock().Compute(float64(len(idxs)))
 	}
 	receive := func(src, tag int) {
@@ -364,7 +389,8 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		}
 	}
 
-	sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+	touched, o.scratch.mergeSpare = sparse.MergeRuns(touched, runEnds, o.scratch.mergeSpare)
+	o.scratch.runEnds = runEnds[:0]
 	vals := o.scratch.vals
 	if cap(vals) < len(touched) {
 		vals = make([]float64, len(touched))
@@ -419,18 +445,28 @@ func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []i
 		selIdx, selVal = rebalance(cm, sizes, selIdx, selVal)
 	}
 
-	// ④ Allgatherv (recursive doubling) of the (balanced) chunks.
-	chunks := collectives.Allgatherv(cm, o.wireChunk(quantRNG(rank, t+1<<20), selIdx, selVal))
+	// ④ Allgatherv (recursive doubling) of the (balanced) chunks. Each
+	// chunk's indexes are sorted and the rank-ordered chunks cover
+	// ascending spans, so the global index list is a merge of sorted
+	// runs (usually a pure concatenation, which MergeRuns detects).
+	var qrng *rand.Rand
+	if o.cfg.QuantBits > 0 {
+		qrng = quantRNG(rank, t+1<<20)
+	}
+	chunks := collectives.Allgatherv(cm, o.wireChunk(qrng, selIdx, selVal))
 	update := make([]float64, n)
-	globalIdx := make([]int32, 0, total)
+	globalIdx := o.scratch.gidx[:0]
+	gidxEnds := o.scratch.gidxEnds[:0]
 	for _, ch := range chunks {
 		for i, idx := range ch.Aux {
 			update[idx] = ch.Data[i]
-			globalIdx = append(globalIdx, idx)
 		}
+		globalIdx = append(globalIdx, ch.Aux...)
+		gidxEnds = append(gidxEnds, len(globalIdx))
 	}
-	_ = rank
-	sort.Slice(globalIdx, func(a, b int) bool { return globalIdx[a] < globalIdx[b] })
+	globalIdx, o.scratch.mergeSpare = sparse.MergeRuns(globalIdx, gidxEnds, o.scratch.mergeSpare)
+	o.scratch.gidx = globalIdx
+	o.scratch.gidxEnds = gidxEnds[:0]
 	cm.Clock().Compute(float64(len(globalIdx)))
 	return update, globalIdx
 }

@@ -243,15 +243,18 @@ func Figure4(workload string, density float64, tauPrime, sampleIter int) Thresho
 	snap := ThresholdSnapshot{Workload: workload}
 	k := cfg.Reduce.KFor(s.N())
 	var curve []float64
+	var thScratch []float64 // reused |acc| buffer for the exact-threshold probes
 	for it := 1; it <= sampleIter; it++ {
 		s.RunIterations(1, nil)
 		acc := s.Trainers[0].LastAcc
 		if it > sampleIter-8 {
-			curve = append(curve, topk.Threshold(acc, k))
+			var th float64
+			th, thScratch = topk.ThresholdInto(acc, k, thScratch)
+			curve = append(curve, th)
 		}
 		if it == sampleIter {
 			snap.Iteration = it
-			snap.Accurate = topk.Threshold(acc, k)
+			snap.Accurate, thScratch = topk.ThresholdInto(acc, k, thScratch)
 			snap.Gaussian = topk.GaussianThreshold(acc, k)
 			okAlgo := s.Trainers[0].Algo.(*core.OkTopk)
 			snap.OkTopkReused = okAlgo.LocalThreshold()

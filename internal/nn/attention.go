@@ -14,6 +14,7 @@ type Embedding struct {
 	tok, gtok          []float64 // Vocab × Dim
 	pos, gpos          []float64 // MaxLen × Dim
 	idsCache           [][]int
+	out                *tensor.Mat
 }
 
 // EmbeddingSize returns the parameter count.
@@ -34,18 +35,23 @@ func NewEmbedding(s *Store, r *rand.Rand, vocab, dim, maxLen int) *Embedding {
 func (e *Embedding) Forward(ids [][]int) *tensor.Mat {
 	b, s := len(ids), len(ids[0])
 	e.idsCache = ids
-	out := tensor.NewMat(b*s, e.Dim)
-	for bi, seq := range ids {
-		for t, id := range seq {
-			row := out.Row(bi*s + t)
-			copy(row, e.tok[id*e.Dim:(id+1)*e.Dim])
-			tensor.Axpy(1, e.pos[t*e.Dim:(t+1)*e.Dim], row)
+	e.out = tensor.EnsureMatUninit(e.out, b*s, e.Dim)
+	out := e.out
+	tensor.ParallelFor(b, 1, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			for t, id := range ids[bi] {
+				row := out.Row(bi*s + t)
+				copy(row, e.tok[id*e.Dim:(id+1)*e.Dim])
+				tensor.Axpy(1, e.pos[t*e.Dim:(t+1)*e.Dim], row)
+			}
 		}
-	}
-	return out
+	})
+	return e.out
 }
 
-// Backward scatters gradients into the token and position tables.
+// Backward scatters gradients into the token and position tables. The
+// scatter stays serial: different sequences can share token ids, so
+// rows of the gradient tables have no single owner.
 func (e *Embedding) Backward(dout *tensor.Mat) {
 	s := len(e.idsCache[0])
 	for bi, seq := range e.idsCache {
@@ -65,6 +71,7 @@ type LayerNorm struct {
 	beta, gb  []float64
 	xHat      *tensor.Mat
 	invStd    []float64
+	y, dx     *tensor.Mat
 }
 
 // LayerNormSize returns the parameter count.
@@ -81,67 +88,90 @@ func NewLayerNorm(s *Store, dim int) *LayerNorm {
 
 const lnEps = 1e-5
 
-// Forward normalizes rows.
+// Forward normalizes rows (each row is owned by one worker).
 func (l *LayerNorm) Forward(x *tensor.Mat) *tensor.Mat {
-	y := tensor.NewMat(x.Rows, x.Cols)
-	l.xHat = tensor.NewMat(x.Rows, x.Cols)
-	l.invStd = make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		mean := tensor.Mean(row)
-		var v float64
-		for _, xv := range row {
-			d := xv - mean
-			v += d * d
-		}
-		inv := 1 / math.Sqrt(v/float64(len(row))+lnEps)
-		l.invStd[i] = inv
-		xh := l.xHat.Row(i)
-		yr := y.Row(i)
-		for j, xv := range row {
-			xh[j] = (xv - mean) * inv
-			yr[j] = xh[j]*l.gamma[j] + l.beta[j]
-		}
+	l.y = tensor.EnsureMatUninit(l.y, x.Rows, x.Cols)
+	l.xHat = tensor.EnsureMatUninit(l.xHat, x.Rows, x.Cols)
+	if cap(l.invStd) < x.Rows {
+		l.invStd = make([]float64, x.Rows)
 	}
-	return y
+	l.invStd = l.invStd[:x.Rows]
+	y, xHat, invStd := l.y, l.xHat, l.invStd
+	tensor.ParallelFor(x.Rows, tensor.GrainFor(2*x.Cols), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			row := x.Row(i)
+			mean := tensor.Mean(row)
+			var v float64
+			for _, xv := range row {
+				d := xv - mean
+				v += d * d
+			}
+			inv := 1 / math.Sqrt(v/float64(len(row))+lnEps)
+			invStd[i] = inv
+			xh := xHat.Row(i)
+			yr := y.Row(i)
+			for j, xv := range row {
+				xh[j] = (xv - mean) * inv
+				yr[j] = xh[j]*l.gamma[j] + l.beta[j]
+			}
+		}
+	})
+	return l.y
 }
 
-// Backward computes the layer-norm gradient.
+// Backward computes the layer-norm gradient: the per-row dx pass runs
+// on the worker pool, then γ/β gradients accumulate serially in row
+// order so their summation order is independent of the worker count.
 func (l *LayerNorm) Backward(dy *tensor.Mat) *tensor.Mat {
-	dx := tensor.NewMat(dy.Rows, dy.Cols)
+	l.dx = tensor.EnsureMatUninit(l.dx, dy.Rows, dy.Cols)
 	n := float64(l.Dim)
+	dx, xHat, invStd := l.dx, l.xHat, l.invStd
+	tensor.ParallelFor(dy.Rows, tensor.GrainFor(2*dy.Cols), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			dyr := dy.Row(i)
+			xh := xHat.Row(i)
+			var sumDy, sumDyXh float64
+			for j, d := range dyr {
+				g := d * l.gamma[j]
+				sumDy += g
+				sumDyXh += g * xh[j]
+			}
+			dxr := dx.Row(i)
+			inv := invStd[i]
+			for j, d := range dyr {
+				g := d * l.gamma[j]
+				dxr[j] = inv * (g - sumDy/n - xh[j]*sumDyXh/n)
+			}
+		}
+	})
 	for i := 0; i < dy.Rows; i++ {
 		dyr := dy.Row(i)
 		xh := l.xHat.Row(i)
-		var sumDy, sumDyXh float64
 		for j, d := range dyr {
-			g := d * l.gamma[j]
-			sumDy += g
-			sumDyXh += g * xh[j]
 			l.gg[j] += d * xh[j]
 			l.gb[j] += d
 		}
-		dxr := dx.Row(i)
-		inv := l.invStd[i]
-		for j, d := range dyr {
-			g := d * l.gamma[j]
-			dxr[j] = inv * (g - sumDy/n - xh[j]*sumDyXh/n)
-		}
 	}
-	return dx
+	return l.dx
 }
 
 // MultiHeadAttention is standard bidirectional self-attention over
-// fixed-length sequences (no masking — BERT-style encoding).
+// fixed-length sequences (no masking — BERT-style encoding). The
+// (batch, head) pairs are independent — each owns its attention matrix
+// and a disjoint column slice of the output rows — so they run in
+// parallel on the tensor worker pool with bit-identical results at any
+// worker count.
 type MultiHeadAttention struct {
 	Dim, Heads, SeqLen int
 	wq, wk, wv, wo     *Linear
 
 	// caches
-	batch     int
-	q, k, v   *tensor.Mat
-	attn      []*tensor.Mat // per (batch*head): S×S softmax weights
-	concatOut *tensor.Mat
+	batch      int
+	q, k, v    *tensor.Mat
+	attn       []*tensor.Mat // per (batch*head): S×S softmax weights
+	concatOut  *tensor.Mat
+	dAtt       []*tensor.Mat // per (batch*head) backward scratch
+	dq, dk, dv *tensor.Mat
 }
 
 // MultiHeadAttentionSize returns the parameter count.
@@ -169,18 +199,20 @@ func (m *MultiHeadAttention) Forward(x *tensor.Mat) *tensor.Mat {
 	m.q = m.wq.Forward(x)
 	m.k = m.wk.Forward(x)
 	m.v = m.wv.Forward(x)
-	m.attn = make([]*tensor.Mat, m.batch*h)
-	m.concatOut = tensor.NewMat(x.Rows, d)
+	m.attn = ensureMats(m.attn, m.batch*h, s, s)
+	m.concatOut = tensor.EnsureMatUninit(m.concatOut, x.Rows, d)
 	scale := 1 / math.Sqrt(float64(dh))
-	for bi := 0; bi < m.batch; bi++ {
-		for hd := 0; hd < h; hd++ {
-			a := tensor.NewMat(s, s)
+	q, k, v, attn, concatOut := m.q, m.k, m.v, m.attn, m.concatOut
+	tensor.ParallelFor(m.batch*h, 1, func(plo, phi int) {
+		for pi := plo; pi < phi; pi++ {
+			bi, hd := pi/h, pi%h
+			a := attn[pi]
 			for i := 0; i < s; i++ {
-				qi := m.q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				qi := q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
 				arow := a.Row(i)
 				maxV := math.Inf(-1)
 				for j := 0; j < s; j++ {
-					kj := m.k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					kj := k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					arow[j] = tensor.Dot(qi, kj) * scale
 					if arow[j] > maxV {
 						maxV = arow[j]
@@ -195,15 +227,15 @@ func (m *MultiHeadAttention) Forward(x *tensor.Mat) *tensor.Mat {
 					arow[j] /= sum
 				}
 				// Weighted sum of V.
-				out := m.concatOut.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				out := concatOut.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				clear(out)
 				for j := 0; j < s; j++ {
-					vj := m.v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					vj := v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					tensor.Axpy(arow[j], vj, out)
 				}
 			}
-			m.attn[bi*h+hd] = a
 		}
-	}
+	})
 	return m.wo.Forward(m.concatOut)
 }
 
@@ -213,20 +245,24 @@ func (m *MultiHeadAttention) Backward(dy *tensor.Mat) *tensor.Mat {
 	dh := d / h
 	scale := 1 / math.Sqrt(float64(dh))
 	dConcat := m.wo.Backward(dy)
-	dq := tensor.NewMat(m.q.Rows, d)
-	dk := tensor.NewMat(m.k.Rows, d)
-	dv := tensor.NewMat(m.v.Rows, d)
-	for bi := 0; bi < m.batch; bi++ {
-		for hd := 0; hd < h; hd++ {
-			a := m.attn[bi*h+hd]
+	m.dq = tensor.EnsureMatUninit(m.dq, m.q.Rows, d)
+	m.dk = tensor.EnsureMat(m.dk, m.k.Rows, d)
+	m.dv = tensor.EnsureMat(m.dv, m.v.Rows, d)
+	m.dAtt = ensureMats(m.dAtt, m.batch*h, s, s)
+	q, k, v, attn := m.q, m.k, m.v, m.attn
+	dq, dk, dv, dAtt := m.dq, m.dk, m.dv, m.dAtt
+	tensor.ParallelFor(m.batch*h, 1, func(plo, phi int) {
+		for pi := plo; pi < phi; pi++ {
+			bi, hd := pi/h, pi%h
+			a := attn[pi]
 			// dA and dV from dOut = A·V.
-			dA := tensor.NewMat(s, s)
+			dA := dAtt[pi]
 			for i := 0; i < s; i++ {
 				dout := dConcat.Row(bi*s + i)[hd*dh : (hd+1)*dh]
 				darow := dA.Row(i)
 				arow := a.Row(i)
 				for j := 0; j < s; j++ {
-					vj := m.v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					vj := v.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					darow[j] = tensor.Dot(dout, vj)
 					dvj := dv.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					tensor.Axpy(arow[j], dout, dvj)
@@ -240,18 +276,19 @@ func (m *MultiHeadAttention) Backward(dy *tensor.Mat) *tensor.Mat {
 				for j := range arow {
 					dot += arow[j] * darow[j]
 				}
-				qi := m.q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				qi := q.Row(bi*s + i)[hd*dh : (hd+1)*dh]
 				dqi := dq.Row(bi*s + i)[hd*dh : (hd+1)*dh]
+				clear(dqi)
 				for j := 0; j < s; j++ {
 					dscore := arow[j] * (darow[j] - dot) * scale
-					kj := m.k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
+					kj := k.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					dkj := dk.Row(bi*s + j)[hd*dh : (hd+1)*dh]
 					tensor.Axpy(dscore, kj, dqi)
 					tensor.Axpy(dscore, qi, dkj)
 				}
 			}
 		}
-	}
+	})
 	dx := m.wq.Backward(dq)
 	dxk := m.wk.Backward(dk)
 	dxv := m.wv.Backward(dv)
@@ -267,6 +304,7 @@ type EncoderBlock struct {
 	attn     *MultiHeadAttention
 	ff1, ff2 *Linear
 	act      *ReLU
+	mid, out *tensor.Mat
 }
 
 // EncoderBlockSize returns the parameter count for dim/heads/ffDim.
@@ -290,12 +328,12 @@ func NewEncoderBlock(s *Store, r *rand.Rand, dim, heads, seqLen, ffDim int) *Enc
 // Forward applies the block.
 func (b *EncoderBlock) Forward(x *tensor.Mat) *tensor.Mat {
 	a := b.attn.Forward(b.ln1.Forward(x))
-	mid := tensor.NewMat(x.Rows, x.Cols)
-	tensor.Add(x.Data, a.Data, mid.Data)
-	f := b.ff2.Forward(b.act.Forward(b.ff1.Forward(b.ln2.Forward(mid))))
-	out := tensor.NewMat(x.Rows, x.Cols)
-	tensor.Add(mid.Data, f.Data, out.Data)
-	return out
+	b.mid = tensor.EnsureMatUninit(b.mid, x.Rows, x.Cols)
+	tensor.Add(x.Data, a.Data, b.mid.Data)
+	f := b.ff2.Forward(b.act.Forward(b.ff1.Forward(b.ln2.Forward(b.mid))))
+	b.out = tensor.EnsureMatUninit(b.out, x.Rows, x.Cols)
+	tensor.Add(b.mid.Data, f.Data, b.out.Data)
+	return b.out
 }
 
 // Backward applies the block's gradient.

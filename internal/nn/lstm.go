@@ -9,12 +9,20 @@ import (
 
 // LSTM is a single-layer LSTM unrolled over fixed-length sequences with
 // full backpropagation through time. Gate order in the packed weight
-// matrices is [input, forget, cell, output].
+// matrices is [input, forget, cell, output]. Per-timestep caches and
+// the BPTT work buffers are per-instance scratch reused across steps;
+// the per-batch-row cell loops run on the tensor worker pool (each
+// batch row is owned by one worker) while the bias-gradient
+// accumulation stays serial, keeping results bit-identical at any
+// worker count.
 type LSTM struct {
 	In, Hidden int
 	wx, gwx    []float64 // In × 4H
 	wh, gwh    []float64 // H × 4H
 	b, gb      []float64 // 4H
+
+	wxMat, whMat   *tensor.Mat
+	gwxMat, gwhMat *tensor.Mat
 
 	// caches per timestep for BPTT
 	steps  int
@@ -23,6 +31,10 @@ type LSTM struct {
 	gates  []*tensor.Mat // pre-activation → activated gates (B × 4H)
 	cells  []*tensor.Mat // cell states (B × H), index t+1; cells[0] is zero
 	hidden []*tensor.Mat // hidden states, same indexing
+
+	// BPTT scratch
+	dpre, dh, dhPrev, dc *tensor.Mat
+	dxs                  []*tensor.Mat
 }
 
 // LSTMSize returns the parameter count for the given dimensions.
@@ -35,6 +47,10 @@ func NewLSTM(s *Store, r *rand.Rand, in, hidden int) *LSTM {
 	l.wx, l.gwx = s.Take(in * 4 * hidden)
 	l.wh, l.gwh = s.Take(hidden * 4 * hidden)
 	l.b, l.gb = s.Take(4 * hidden)
+	l.wxMat = tensor.NewMatFrom(in, 4*hidden, l.wx)
+	l.whMat = tensor.NewMatFrom(hidden, 4*hidden, l.wh)
+	l.gwxMat = tensor.NewMatFrom(in, 4*hidden, l.gwx)
+	l.gwhMat = tensor.NewMatFrom(hidden, 4*hidden, l.gwh)
 	tensor.XavierInit(r, l.wx, in, 4*hidden)
 	tensor.XavierInit(r, l.wh, hidden, 4*hidden)
 	for j := hidden; j < 2*hidden; j++ {
@@ -45,6 +61,23 @@ func NewLSTM(s *Store, r *rand.Rand, in, hidden int) *LSTM {
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// ensureMats grows a per-timestep cache slice to n entries of shape
+// rows×cols, reusing existing matrices. Entries come back uninitialized
+// (every consumer fully overwrites them); callers needing zeros — the
+// t=0 state matrices — clear them explicitly.
+func ensureMats(ms []*tensor.Mat, n, rows, cols int) []*tensor.Mat {
+	if cap(ms) < n {
+		grown := make([]*tensor.Mat, n)
+		copy(grown, ms[:cap(ms)])
+		ms = grown
+	}
+	ms = ms[:n]
+	for i := range ms {
+		ms[i] = tensor.EnsureMatUninit(ms[i], rows, cols)
+	}
+	return ms
+}
+
 // Forward consumes a sequence of T input matrices (each B×In) and
 // returns the final hidden state (B×H).
 func (l *LSTM) Forward(seq []*tensor.Mat) *tensor.Mat {
@@ -52,87 +85,89 @@ func (l *LSTM) Forward(seq []*tensor.Mat) *tensor.Mat {
 	l.steps = len(seq)
 	l.batch = seq[0].Rows
 	l.xs = seq
-	l.gates = make([]*tensor.Mat, l.steps)
-	l.cells = make([]*tensor.Mat, l.steps+1)
-	l.hidden = make([]*tensor.Mat, l.steps+1)
-	l.cells[0] = tensor.NewMat(l.batch, h)
-	l.hidden[0] = tensor.NewMat(l.batch, h)
+	l.gates = ensureMats(l.gates, l.steps, l.batch, 4*h)
+	l.cells = ensureMats(l.cells, l.steps+1, l.batch, h)
+	l.hidden = ensureMats(l.hidden, l.steps+1, l.batch, h)
+	clear(l.cells[0].Data)
+	clear(l.hidden[0].Data)
 
-	wx := tensor.NewMatFrom(l.In, 4*h, l.wx)
-	wh := tensor.NewMatFrom(h, 4*h, l.wh)
 	for t := 0; t < l.steps; t++ {
-		pre := tensor.NewMat(l.batch, 4*h)
-		tensor.Gemm(seq[t], wx, pre)
-		tensor.Gemm(l.hidden[t], wh, pre)
-		cNew := tensor.NewMat(l.batch, h)
-		hNew := tensor.NewMat(l.batch, h)
-		for bi := 0; bi < l.batch; bi++ {
-			row := pre.Row(bi)
-			cPrev := l.cells[t].Row(bi)
-			cRow := cNew.Row(bi)
-			hRow := hNew.Row(bi)
-			for j := 0; j < h; j++ {
-				i := sigmoid(row[j] + l.b[j])
-				f := sigmoid(row[h+j] + l.b[h+j])
-				g := math.Tanh(row[2*h+j] + l.b[2*h+j])
-				o := sigmoid(row[3*h+j] + l.b[3*h+j])
-				// Store activated gates in place for the backward pass.
-				row[j], row[h+j], row[2*h+j], row[3*h+j] = i, f, g, o
-				cRow[j] = f*cPrev[j] + i*g
-				hRow[j] = o * math.Tanh(cRow[j])
+		pre := l.gates[t]
+		tensor.MatMul(seq[t], l.wxMat, pre)
+		tensor.Gemm(l.hidden[t], l.whMat, pre)
+		cPrevM, cNew, hNew := l.cells[t], l.cells[t+1], l.hidden[t+1]
+		tensor.ParallelFor(l.batch, 1, func(blo, bhi int) {
+			for bi := blo; bi < bhi; bi++ {
+				row := pre.Row(bi)
+				cPrev := cPrevM.Row(bi)
+				cRow := cNew.Row(bi)
+				hRow := hNew.Row(bi)
+				for j := 0; j < h; j++ {
+					i := sigmoid(row[j] + l.b[j])
+					f := sigmoid(row[h+j] + l.b[h+j])
+					g := math.Tanh(row[2*h+j] + l.b[2*h+j])
+					o := sigmoid(row[3*h+j] + l.b[3*h+j])
+					// Store activated gates in place for the backward pass.
+					row[j], row[h+j], row[2*h+j], row[3*h+j] = i, f, g, o
+					cRow[j] = f*cPrev[j] + i*g
+					hRow[j] = o * math.Tanh(cRow[j])
+				}
 			}
-		}
-		l.gates[t] = pre
-		l.cells[t+1] = cNew
-		l.hidden[t+1] = hNew
+		})
 	}
 	return l.hidden[l.steps]
 }
 
 // Backward takes the gradient of the loss w.r.t. the final hidden state
 // and runs BPTT, accumulating all weight gradients. It returns the
-// per-timestep input gradients (useful when the LSTM is stacked).
+// per-timestep input gradients (useful when the LSTM is stacked); they
+// alias per-instance scratch valid until the next Backward call.
 func (l *LSTM) Backward(dhFinal *tensor.Mat) []*tensor.Mat {
 	h := l.Hidden
-	dh := dhFinal.Clone()
-	dc := tensor.NewMat(l.batch, h)
-	dxs := make([]*tensor.Mat, l.steps)
-	wx := tensor.NewMatFrom(l.In, 4*h, l.wx)
-	wh := tensor.NewMatFrom(h, 4*h, l.wh)
-	gwx := tensor.NewMatFrom(l.In, 4*h, l.gwx)
-	gwh := tensor.NewMatFrom(h, 4*h, l.gwh)
+	l.dh = tensor.EnsureMatUninit(l.dh, l.batch, h)
+	copy(l.dh.Data, dhFinal.Data)
+	l.dhPrev = tensor.EnsureMatUninit(l.dhPrev, l.batch, h)
+	l.dc = tensor.EnsureMat(l.dc, l.batch, h)
+	l.dpre = tensor.EnsureMatUninit(l.dpre, l.batch, 4*h)
+	l.dxs = ensureMats(l.dxs, l.steps, l.batch, l.In)
+	dh, dc, dpre := l.dh, l.dc, l.dpre
 
 	for t := l.steps - 1; t >= 0; t-- {
-		dpre := tensor.NewMat(l.batch, 4*h)
-		for bi := 0; bi < l.batch; bi++ {
-			gates := l.gates[t].Row(bi)
-			cPrev := l.cells[t].Row(bi)
-			cCur := l.cells[t+1].Row(bi)
-			dhRow := dh.Row(bi)
-			dcRow := dc.Row(bi)
-			dpreRow := dpre.Row(bi)
-			for j := 0; j < h; j++ {
-				i, f, g, o := gates[j], gates[h+j], gates[2*h+j], gates[3*h+j]
-				tc := math.Tanh(cCur[j])
-				dcTot := dcRow[j] + dhRow[j]*o*(1-tc*tc)
-				dpreRow[j] = dcTot * g * i * (1 - i)          // input gate
-				dpreRow[h+j] = dcTot * cPrev[j] * f * (1 - f) // forget gate
-				dpreRow[2*h+j] = dcTot * i * (1 - g*g)        // cell candidate
-				dpreRow[3*h+j] = dhRow[j] * tc * o * (1 - o)  // output gate
-				dcRow[j] = dcTot * f                          // flows to t-1
+		gatesM, cPrevM, cCurM := l.gates[t], l.cells[t], l.cells[t+1]
+		tensor.ParallelFor(l.batch, 1, func(blo, bhi int) {
+			for bi := blo; bi < bhi; bi++ {
+				gates := gatesM.Row(bi)
+				cPrev := cPrevM.Row(bi)
+				cCur := cCurM.Row(bi)
+				dhRow := dh.Row(bi)
+				dcRow := dc.Row(bi)
+				dpreRow := dpre.Row(bi)
+				for j := 0; j < h; j++ {
+					i, f, g, o := gates[j], gates[h+j], gates[2*h+j], gates[3*h+j]
+					tc := math.Tanh(cCur[j])
+					dcTot := dcRow[j] + dhRow[j]*o*(1-tc*tc)
+					dpreRow[j] = dcTot * g * i * (1 - i)          // input gate
+					dpreRow[h+j] = dcTot * cPrev[j] * f * (1 - f) // forget gate
+					dpreRow[2*h+j] = dcTot * i * (1 - g*g)        // cell candidate
+					dpreRow[3*h+j] = dhRow[j] * tc * o * (1 - o)  // output gate
+					dcRow[j] = dcTot * f                          // flows to t-1
+				}
 			}
+		})
+		// Bias gradient: serial batch-major accumulation, the same
+		// order at every worker count.
+		for bi := 0; bi < l.batch; bi++ {
+			dpreRow := dpre.Row(bi)
 			for j := 0; j < 4*h; j++ {
 				l.gb[j] += dpreRow[j]
 			}
 		}
-		tensor.GemmTA(l.xs[t], dpre, gwx)
-		tensor.GemmTA(l.hidden[t], dpre, gwh)
-		dx := tensor.NewMat(l.batch, l.In)
-		tensor.GemmTB(dpre, wx, dx)
-		dxs[t] = dx
-		dhPrev := tensor.NewMat(l.batch, h)
-		tensor.GemmTB(dpre, wh, dhPrev)
-		dh = dhPrev
+		tensor.GemmTA(l.xs[t], dpre, l.gwxMat)
+		tensor.GemmTA(l.hidden[t], dpre, l.gwhMat)
+		tensor.MatMulTB(dpre, l.wxMat, l.dxs[t])
+		tensor.MatMulTB(dpre, l.whMat, l.dhPrev)
+		dh, l.dhPrev = l.dhPrev, dh
 	}
-	return dxs
+	l.dh = dh // record the final ping-pong orientation for reuse
+	return l.dxs
 }

@@ -169,6 +169,12 @@ type TinyBERT struct {
 	Vocab  int
 	Dim    int
 	SeqLen int
+
+	// per-Loss scratch (masked-row gather/scatter buffers)
+	rows     []int
+	targets  []int
+	gathered *tensor.Mat
+	dh       *tensor.Mat
 }
 
 // TinyBERTSize returns the parameter count for the configuration.
@@ -221,15 +227,17 @@ func (m *TinyBERT) Loss(ids [][]int, maskedPos [][]int, maskedTgt [][]int) (floa
 	h = m.lnF.Forward(h)
 
 	// Gather masked rows into a compact matrix for the head.
-	var rows []int
-	var targets []int
+	rows := m.rows[:0]
+	targets := m.targets[:0]
 	for bi := 0; bi < b; bi++ {
 		for mi, pos := range maskedPos[bi] {
 			rows = append(rows, bi*s+pos)
 			targets = append(targets, maskedTgt[bi][mi])
 		}
 	}
-	gathered := tensor.NewMat(len(rows), m.Dim)
+	m.rows, m.targets = rows, targets
+	m.gathered = tensor.EnsureMatUninit(m.gathered, len(rows), m.Dim)
+	gathered := m.gathered
 	for i, ri := range rows {
 		copy(gathered.Row(i), h.Row(ri))
 	}
@@ -238,7 +246,8 @@ func (m *TinyBERT) Loss(ids [][]int, maskedPos [][]int, maskedTgt [][]int) (floa
 	dGathered := m.head.Backward(dlogits)
 
 	// Scatter the masked-row gradients back into the sequence gradient.
-	dh := tensor.NewMat(h.Rows, m.Dim)
+	m.dh = tensor.EnsureMat(m.dh, h.Rows, m.Dim)
+	dh := m.dh
 	for i, ri := range rows {
 		copy(dh.Row(ri), dGathered.Row(i))
 	}

@@ -51,18 +51,20 @@ func (s *Store) Full() bool { return s.off == len(s.Params) }
 
 // ZeroGrads clears the gradient vector before a new batch.
 func (s *Store) ZeroGrads() {
-	for i := range s.Grads {
-		s.Grads[i] = 0
-	}
+	clear(s.Grads)
 }
 
 // Linear is a fully connected layer: y = x·W + b with x (B×in), W
-// (in×out), b (out).
+// (in×out), b (out). Activation and gradient outputs live in
+// per-instance scratch reused across steps: a returned matrix stays
+// valid until the instance's next Forward (resp. Backward) call.
 type Linear struct {
-	In, Out int
-	w, gw   []float64
-	b, gb   []float64
-	xCache  *tensor.Mat
+	In, Out     int
+	w, gw       []float64
+	b, gb       []float64
+	wMat, gwMat *tensor.Mat
+	xCache      *tensor.Mat
+	y, dx       *tensor.Mat
 }
 
 // NewLinear binds a Linear layer's parameters from the store and
@@ -71,6 +73,8 @@ func NewLinear(s *Store, r *rand.Rand, in, out int) *Linear {
 	l := &Linear{In: in, Out: out}
 	l.w, l.gw = s.Take(in * out)
 	l.b, l.gb = s.Take(out)
+	l.wMat = tensor.NewMatFrom(in, out, l.w)
+	l.gwMat = tensor.NewMatFrom(in, out, l.gw)
 	tensor.XavierInit(r, l.w, in, out)
 	return l
 }
@@ -78,68 +82,73 @@ func NewLinear(s *Store, r *rand.Rand, in, out int) *Linear {
 // LinearSize returns the parameter count of a Linear layer.
 func LinearSize(in, out int) int { return in*out + out }
 
-// Forward computes y = x·W + b.
+// Forward computes y = x·W + b with the fused bias+GEMM kernel.
 func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: linear input %d != %d", x.Cols, l.In))
 	}
 	l.xCache = x
-	y := tensor.NewMat(x.Rows, l.Out)
-	w := tensor.NewMatFrom(l.In, l.Out, l.w)
-	tensor.Gemm(x, w, y)
-	for i := 0; i < y.Rows; i++ {
-		row := y.Row(i)
-		for j := range row {
-			row[j] += l.b[j]
-		}
-	}
-	return y
+	l.y = tensor.EnsureMatUninit(l.y, x.Rows, l.Out)
+	tensor.MatMulBias(x, l.wMat, l.b, l.y)
+	return l.y
 }
 
 // Backward accumulates dW, db and returns dx.
 func (l *Linear) Backward(dy *tensor.Mat) *tensor.Mat {
-	x := l.xCache
-	gw := tensor.NewMatFrom(l.In, l.Out, l.gw)
-	tensor.GemmTA(x, dy, gw)
+	tensor.GemmTA(l.xCache, dy, l.gwMat)
 	for i := 0; i < dy.Rows; i++ {
 		row := dy.Row(i)
 		for j := range row {
 			l.gb[j] += row[j]
 		}
 	}
-	dx := tensor.NewMat(dy.Rows, l.In)
-	w := tensor.NewMatFrom(l.In, l.Out, l.w)
-	tensor.GemmTB(dy, w, dx)
-	return dx
+	l.dx = tensor.EnsureMatUninit(l.dx, dy.Rows, l.In)
+	tensor.MatMulTB(dy, l.wMat, l.dx)
+	return l.dx
 }
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	mask []bool
+	mask  []bool
+	y, dx *tensor.Mat
 }
 
 // Forward computes the activation, caching the pass-through mask.
 func (a *ReLU) Forward(x *tensor.Mat) *tensor.Mat {
-	y := tensor.NewMat(x.Rows, x.Cols)
-	a.mask = make([]bool, len(x.Data))
-	for i, v := range x.Data {
-		if v > 0 {
-			y.Data[i] = v
-			a.mask[i] = true
-		}
+	a.y = tensor.EnsureMatUninit(a.y, x.Rows, x.Cols)
+	if cap(a.mask) < len(x.Data) {
+		a.mask = make([]bool, len(x.Data))
 	}
-	return y
+	a.mask = a.mask[:len(x.Data)]
+	mask, y := a.mask, a.y.Data
+	tensor.ParallelFor(len(x.Data), 1<<14, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				y[i] = v
+				mask[i] = true
+			} else {
+				y[i] = 0
+				mask[i] = false
+			}
+		}
+	})
+	return a.y
 }
 
 // Backward gates the upstream gradient by the cached mask.
 func (a *ReLU) Backward(dy *tensor.Mat) *tensor.Mat {
-	dx := tensor.NewMat(dy.Rows, dy.Cols)
-	for i, v := range dy.Data {
-		if a.mask[i] {
-			dx.Data[i] = v
+	a.dx = tensor.EnsureMatUninit(a.dx, dy.Rows, dy.Cols)
+	mask, dx := a.mask, a.dx.Data
+	tensor.ParallelFor(len(dy.Data), 1<<14, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				dx[i] = dy.Data[i]
+			} else {
+				dx[i] = 0
+			}
 		}
-	}
-	return dx
+	})
+	return a.dx
 }
 
 // SoftmaxCrossEntropy computes mean cross-entropy over a batch of logits

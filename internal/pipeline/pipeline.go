@@ -211,6 +211,10 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 		stashes[m].x = in
 		out := tr.stage.Forward(in)
 		clk.Compute(flopsLinear(tr.stage, in.Rows))
+		// Layer outputs alias per-instance scratch reused by the next
+		// microbatch's Forward, so anything that crosses a rank boundary
+		// must be cloned: the wire owns its payload (same protocol as
+		// the collectives' pooled buffers).
 		if last {
 			l, c, dlogits := nn.SoftmaxCrossEntropy(out, y)
 			loss += l
@@ -220,12 +224,12 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 			clk.Compute(2 * flopsLinear(tr.stage, in.Rows))
 			if !first {
 				clk.SetPhase(netmodel.PhaseComm)
-				cm.Send(prevRank, tagActBwd+m, dxs, len(dxs.Data))
+				cm.Send(prevRank, tagActBwd+m, dxs.Clone(), len(dxs.Data))
 				clk.SetPhase(netmodel.PhaseCompute)
 			}
 		} else {
 			clk.SetPhase(netmodel.PhaseComm)
-			cm.Send(nextRank, tagActFwd+m, out, len(out.Data))
+			cm.Send(nextRank, tagActFwd+m, out.Clone(), len(out.Data))
 			clk.SetPhase(netmodel.PhaseCompute)
 		}
 	}
@@ -243,7 +247,7 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 			clk.Compute(3 * flopsLinear(tr.stage, dy.Rows))
 			if !first {
 				clk.SetPhase(netmodel.PhaseComm)
-				cm.Send(prevRank, tagActBwd+m, dx, len(dx.Data))
+				cm.Send(prevRank, tagActBwd+m, dx.Clone(), len(dx.Data))
 				clk.SetPhase(netmodel.PhaseCompute)
 			}
 		}
@@ -257,9 +261,7 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 	}
 	group := cluster.NewGroup(cm, ranks, tr.stageIdx)
 	grads := tr.stage.store.Grads
-	for i, g := range grads {
-		tr.acc[i] = tr.residual[i] + cfg.LR*g
-	}
+	tensor.ScaleAdd(tr.acc, cfg.LR, grads, tr.residual)
 	res := tr.algo.Reduce(group, tr.acc, t)
 	if res.All {
 		for i := range tr.residual {

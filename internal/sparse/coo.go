@@ -8,7 +8,9 @@
 package sparse
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -108,7 +110,7 @@ func FromPairs(dim int, indexes []int32, values []float64) *Vec {
 	for i := range indexes {
 		ps[i] = pair{indexes[i], values[i]}
 	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+	slices.SortStableFunc(ps, func(a, b pair) int { return cmp.Compare(a.idx, b.idx) })
 	v := New(dim)
 	for _, p := range ps {
 		if n := len(v.Indexes); n > 0 && v.Indexes[n-1] == p.idx {
@@ -147,12 +149,25 @@ func (v *Vec) AddInto(d []float64) {
 // concatenate (this is fill-in: the result has up to NNZ(a)+NNZ(b)
 // nonzeros).
 func Add(a, b *Vec) *Vec {
+	return AddTo(New(a.Dim), a, b)
+}
+
+// AddTo computes the element-wise sum a+b into out, reusing out's
+// backing arrays (the steady-state form of Add — TopkDSA's recursive
+// halving ping-pongs two of these). out must not alias a or b. It
+// returns out.
+func AddTo(out, a, b *Vec) *Vec {
 	if a.Dim != b.Dim {
 		panic(fmt.Sprintf("sparse: Add dimension mismatch %d != %d", a.Dim, b.Dim))
 	}
-	out := New(a.Dim)
-	out.Indexes = make([]int32, 0, len(a.Indexes)+len(b.Indexes))
-	out.Values = make([]float64, 0, len(a.Indexes)+len(b.Indexes))
+	need := len(a.Indexes) + len(b.Indexes)
+	if cap(out.Indexes) < need {
+		out.Indexes = make([]int32, 0, need)
+		out.Values = make([]float64, 0, need)
+	}
+	out.Dim = a.Dim
+	out.Indexes = out.Indexes[:0]
+	out.Values = out.Values[:0]
 	i, j := 0, 0
 	for i < len(a.Indexes) && j < len(b.Indexes) {
 		switch {
@@ -179,9 +194,12 @@ func Add(a, b *Vec) *Vec {
 	return out
 }
 
-// Reduce sums a list of sparse vectors pairwise in a balanced tree,
-// which keeps intermediate fill-in no worse than the final result and
-// costs O(total nnz · log len(vs)).
+// Reduce sums a list of sparse vectors with a single multi-way heap
+// merge over the sorted per-source runs: O(total nnz · log len(vs))
+// comparisons with no intermediate vectors (the pairwise tree it
+// replaces materialized a partially filled-in vector per level).
+// Duplicate indexes accumulate in ascending source order, so the
+// result is independent of scheduling.
 func Reduce(vs []*Vec) *Vec {
 	switch len(vs) {
 	case 0:
@@ -189,19 +207,49 @@ func Reduce(vs []*Vec) *Vec {
 	case 1:
 		return vs[0].Clone()
 	}
-	work := make([]*Vec, len(vs))
-	copy(work, vs)
-	for len(work) > 1 {
-		var next []*Vec
-		for i := 0; i+1 < len(work); i += 2 {
-			next = append(next, Add(work[i], work[i+1]))
-		}
-		if len(work)%2 == 1 {
-			next = append(next, work[len(work)-1])
-		}
-		work = next
+	total := 0
+	for _, v := range vs {
+		total += v.NNZ()
 	}
-	return work[0]
+	out := New(vs[0].Dim)
+	out.Indexes = make([]int32, 0, total)
+	out.Values = make([]float64, 0, total)
+
+	pos := make([]int, len(vs))
+	heap := make([]mergeHead, 0, len(vs))
+	for s, v := range vs {
+		if v.Dim != vs[0].Dim {
+			panic(fmt.Sprintf("sparse: Reduce dimension mismatch %d != %d", v.Dim, vs[0].Dim))
+		}
+		if v.NNZ() > 0 {
+			heap = append(heap, mergeHead{idx: v.Indexes[0], src: int32(s)})
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		heapDown(heap, i)
+	}
+	for len(heap) > 0 {
+		head := heap[0]
+		src := vs[head.src]
+		p := pos[head.src]
+		if n := len(out.Indexes); n > 0 && out.Indexes[n-1] == head.idx {
+			out.Values[n-1] += src.Values[p]
+		} else {
+			out.Indexes = append(out.Indexes, head.idx)
+			out.Values = append(out.Values, src.Values[p])
+		}
+		p++
+		pos[head.src] = p
+		if p < src.NNZ() {
+			heap[0].idx = src.Indexes[p]
+			heapDown(heap, 0)
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			heapDown(heap, 0)
+		}
+	}
+	return out
 }
 
 // Slice returns the sub-vector of v restricted to indexes in [lo, hi),

@@ -22,7 +22,9 @@
 package sparsecoll
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/allreduce"
@@ -65,11 +67,13 @@ func releaseVec(v *sparse.Vec) {
 
 // localTopk selects the exact top-k entries of acc (by |value|) the way
 // the baselines do with torch.topk, charging the sort-based cost, and
-// returns them as a sparse vector.
-func localTopk(cm cluster.Endpoint, cfg allreduce.Config, acc []float64, k int) *sparse.Vec {
+// returns them as a sparse vector. scratch backs the selection's |x|
+// copy and is returned (possibly grown) for the caller to retain
+// across iterations.
+func localTopk(cm cluster.Endpoint, cfg allreduce.Config, acc []float64, k int, scratch []float64) (*sparse.Vec, []float64) {
 	allreduce.ChargeSort(cm, cfg, len(acc))
-	th := topk.Threshold(acc, k)
-	return sparse.FromDenseThreshold(acc, th)
+	th, scratch := topk.ThresholdInto(acc, k, scratch)
+	return sparse.FromDenseThreshold(acc, th), scratch
 }
 
 // gatherAndSum allgathers everyone's COO chunk and reduces locally; the
@@ -96,7 +100,8 @@ func gatherAndSum(cm cluster.Endpoint, mine *sparse.Vec, n int) (update []float6
 
 // TopkA is the allgather-based sparse allreduce [36, 47].
 type TopkA struct {
-	cfg allreduce.Config
+	cfg       allreduce.Config
+	thScratch []float64
 }
 
 // NewTopkA returns a TopkA instance for one worker.
@@ -108,7 +113,8 @@ func (*TopkA) OverlapsBackward() bool { return false }
 // Reduce gathers all workers' exact top-k chunks and sums them locally.
 func (a *TopkA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Result {
 	k := a.cfg.KFor(len(acc))
-	mine := localTopk(cm, a.cfg, acc, k)
+	var mine *sparse.Vec
+	mine, a.thScratch = localTopk(cm, a.cfg, acc, k, a.thScratch)
 	update, nz := gatherAndSum(cm, mine, len(acc))
 	return allreduce.Result{
 		Update:      update,
@@ -175,6 +181,12 @@ type TopkDSA struct {
 	// statistics.
 	fillSum   float64
 	fillCount int
+	thScratch []float64
+	// mergeA/mergeB ping-pong the recursive-halving partial sums, so
+	// the intermediate merges allocate nothing in steady state. Only
+	// the final level's result (whose buffers fan out through the
+	// allgatherv) is freshly allocated.
+	mergeA, mergeB *sparse.Vec
 }
 
 // NewTopkDSA returns a TopkDSA instance for one worker.
@@ -198,7 +210,8 @@ const tagDSA = 9 << 20
 func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Result {
 	p, rank, n := cm.Size(), cm.Rank(), len(acc)
 	k := d.cfg.KFor(n)
-	mine := localTopk(cm, d.cfg, acc, k)
+	var mine *sparse.Vec
+	mine, d.thScratch = localTopk(cm, d.cfg, acc, k, d.thScratch)
 	localIdx := mine.Indexes
 
 	if p&(p-1) != 0 {
@@ -236,7 +249,20 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		in := cm.Recv(partner, tagDSA+s).(*sparse.Vec)
 		kept := slicePooled(cur, int32(keepLo), int32(keepHi))
 		cm.Clock().Compute(float64(kept.NNZ() + in.NNZ()))
-		cur = sparse.Add(kept, in)
+		if dist > 1 {
+			// Intermediate level: merge into ping-pong scratch (the
+			// previous level's cur is fully consumed by the two
+			// slicePooled copies above).
+			if d.mergeA == nil {
+				d.mergeA, d.mergeB = sparse.New(n), sparse.New(n)
+			}
+			cur = sparse.AddTo(d.mergeA, kept, in)
+			d.mergeA, d.mergeB = d.mergeB, d.mergeA
+		} else {
+			// Final level: the result's buffers ride the allgatherv to
+			// every rank, so they must be freshly allocated.
+			cur = sparse.Add(kept, in)
+		}
 		releaseVec(kept)
 		releaseVec(in)
 		lo, hi = keepLo, keepHi
@@ -274,7 +300,16 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 // charged to the communication phase, matching how the paper's
 // measurements attribute it.
 type GTopk struct {
-	cfg allreduce.Config
+	cfg       allreduce.Config
+	thScratch []float64
+	pairs     []idxVal
+}
+
+// idxVal is the (index, value) pair truncTopk sorts during
+// hierarchical re-selection.
+type idxVal struct {
+	idx int32
+	val float64
 }
 
 // NewGTopk returns a gTopk instance for one worker.
@@ -289,7 +324,8 @@ const tagGTopk = 10 << 20
 func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Result {
 	p, rank, n := cm.Size(), cm.Rank(), len(acc)
 	k := g.cfg.KFor(n)
-	mine := localTopk(cm, g.cfg, acc, k)
+	var mine *sparse.Vec
+	mine, g.thScratch = localTopk(cm, g.cfg, acc, k, g.thScratch)
 	localIdx := mine.Indexes
 
 	cm.Clock().SetPhase(netmodel.PhaseComm)
@@ -312,7 +348,7 @@ func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Resu
 			// the reason the paper's gTopk bars show outsized
 			// "communication" time.
 			cm.Clock().Compute(g.cfg.SortFlops * float64(n))
-			cur = truncTopk(merged, k)
+			cur = g.truncTopk(merged, k)
 		}
 	}
 	// Broadcast the final global top-k down the mirrored tree.
@@ -362,12 +398,13 @@ func childrenOf(rank, p int) []int {
 
 // truncTopk keeps the k largest-magnitude entries of v (ties broken by
 // keeping all at the threshold, then trimming to exactly k by index
-// order).
-func truncTopk(v *sparse.Vec, k int) *sparse.Vec {
+// order). The selection scratch and pair buffer are per-instance.
+func (g *GTopk) truncTopk(v *sparse.Vec, k int) *sparse.Vec {
 	if v.NNZ() <= k {
 		return v
 	}
-	th := topk.Threshold(v.Values, k)
+	var th float64
+	th, g.thScratch = topk.ThresholdInto(v.Values, k, g.thScratch)
 	out := sparse.New(v.Dim)
 	for i, val := range v.Values {
 		if math.Abs(val) >= th {
@@ -377,23 +414,20 @@ func truncTopk(v *sparse.Vec, k int) *sparse.Vec {
 	}
 	if out.NNZ() > k {
 		// Trim ties deterministically: drop smallest-magnitude extras.
-		type pair struct {
-			idx int32
-			val float64
-		}
-		ps := make([]pair, out.NNZ())
+		ps := g.pairs[:0]
 		for i := range out.Indexes {
-			ps[i] = pair{out.Indexes[i], out.Values[i]}
+			ps = append(ps, idxVal{out.Indexes[i], out.Values[i]})
 		}
-		sort.Slice(ps, func(a, b int) bool {
-			am, bm := math.Abs(ps[a].val), math.Abs(ps[b].val)
+		g.pairs = ps
+		slices.SortFunc(ps, func(a, b idxVal) int {
+			am, bm := math.Abs(a.val), math.Abs(b.val)
 			if am != bm {
-				return am > bm
+				return cmp.Compare(bm, am)
 			}
-			return ps[a].idx < ps[b].idx
+			return cmp.Compare(a.idx, b.idx)
 		})
 		ps = ps[:k]
-		sort.Slice(ps, func(a, b int) bool { return ps[a].idx < ps[b].idx })
+		slices.SortFunc(ps, func(a, b idxVal) int { return cmp.Compare(a.idx, b.idx) })
 		out = sparse.New(v.Dim)
 		for _, p := range ps {
 			out.Indexes = append(out.Indexes, p.idx)

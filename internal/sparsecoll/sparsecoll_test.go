@@ -322,7 +322,8 @@ func TestTruncTopk(t *testing.T) {
 	v := sparse.FromPairs(100,
 		[]int32{5, 10, 15, 20, 25, 30},
 		[]float64{1, -1, 1, 1, -1, 1})
-	out := truncTopk(v, 3)
+	g := NewGTopk(allreduce.Config{})
+	out := g.truncTopk(v, 3)
 	if out.NNZ() != 3 {
 		t.Fatalf("got %d values, want 3", out.NNZ())
 	}
@@ -332,7 +333,7 @@ func TestTruncTopk(t *testing.T) {
 		}
 	}
 	// No trimming needed when nnz <= k.
-	same := truncTopk(v, 10)
+	same := g.truncTopk(v, 10)
 	if same.NNZ() != v.NNZ() {
 		t.Fatalf("expected passthrough, got %d values", same.NNZ())
 	}

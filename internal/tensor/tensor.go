@@ -1,9 +1,12 @@
-// Package tensor provides small dense linear-algebra helpers used by the
+// Package tensor provides the dense compute kernels used by the
 // neural-network substrate and the sparse-allreduce algorithms: seeded
-// random number generation, vector arithmetic (axpy, scale, dot), and a
-// cache-blocked matrix multiply. Everything operates on []float64 and
-// plain row-major matrices; there is deliberately no tensor abstraction
-// beyond Mat, keeping the hot paths transparent.
+// random number generation, vector arithmetic (axpy, scale, dot) and
+// matrix multiplies (MatMul, Gemm, GemmTA, GemmTB) parallelized over a
+// shared worker pool with deterministic row-block ownership — results
+// are bit-identical at any worker count (SetWorkers). Everything
+// operates on []float64 and plain row-major matrices; there is
+// deliberately no tensor abstraction beyond Mat, keeping the hot paths
+// transparent.
 package tensor
 
 import (
@@ -41,9 +44,7 @@ func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: axpy length mismatch %d != %d", len(x), len(y)))
 	}
-	for i, xv := range x {
-		y[i] += a * xv
-	}
+	axpyTo(y, a, x)
 }
 
 // Scale multiplies every element of x by a in place.
@@ -175,64 +176,6 @@ func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {
 	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: Copy(m.Data)}
-}
-
-// Gemm computes C += A * B where A is (M×K), B is (K×N), C is (M×N).
-// The loop order (i, k, j) streams B and C rows for cache friendliness,
-// which is enough for the model sizes used here.
-func Gemm(a, b, c *Mat) {
-	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
-		panic(fmt.Sprintf("tensor: gemm shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range brow {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// GemmTA computes C += Aᵀ * B where A is (K×M), B is (K×N), C is (M×N).
-func GemmTA(a, b, c *Mat) {
-	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
-		panic("tensor: gemmTA shape mismatch")
-	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Row(i)
-			for j := range brow {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// GemmTB computes C += A * Bᵀ where A is (M×K), B is (N×K), C is (M×N).
-func GemmTB(a, b, c *Mat) {
-	if a.Cols != b.Cols || a.Rows != c.Rows || b.Rows != c.Cols {
-		panic("tensor: gemmTB shape mismatch")
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			crow[j] += Dot(arow, b.Row(j))
-		}
-	}
 }
 
 // RandN fills x with N(0, sigma) samples from r.

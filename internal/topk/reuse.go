@@ -8,11 +8,12 @@ package topk
 //
 // The zero value is not usable; construct with NewReuseController.
 type ReuseController struct {
-	period    int     // τ′, re-evaluation period in iterations
-	threshold float64 // cached exact threshold
-	evaluated bool    // true once the first evaluation has happened
-	evals     int     // number of exact evaluations performed (for cost accounting)
-	reuses    int     // number of cached reuses served
+	period    int       // τ′, re-evaluation period in iterations
+	threshold float64   // cached exact threshold
+	evaluated bool      // true once the first evaluation has happened
+	evals     int       // number of exact evaluations performed (for cost accounting)
+	reuses    int       // number of cached reuses served
+	scratch   []float64 // |x| buffer reused across exact re-evaluations
 }
 
 // NewReuseController returns a controller with re-evaluation period τ′.
@@ -37,7 +38,7 @@ func (c *ReuseController) ShouldReevaluate(t int) bool {
 // quickselect threshold; otherwise it returns the cached value.
 func (c *ReuseController) ThresholdFor(t int, x []float64, k int) float64 {
 	if c.ShouldReevaluate(t) {
-		c.threshold = Threshold(x, k)
+		c.threshold, c.scratch = ThresholdInto(x, k, c.scratch)
 		c.evaluated = true
 		c.evals++
 	} else {

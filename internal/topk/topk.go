@@ -20,17 +20,31 @@ import (
 // on a copy of the absolute values, O(n) on average. k must be in
 // [1, len(x)]; k > len(x) is clamped.
 func Threshold(x []float64, k int) float64 {
+	th, _ := ThresholdInto(x, k, nil)
+	return th
+}
+
+// ThresholdInto is Threshold with a caller-provided scratch buffer for
+// the |x| copy, so steady-state re-evaluation paths (the Ok-Topk reuse
+// controllers, the baselines' per-iteration exact selection) stop
+// allocating O(n) per call. It returns the threshold and the (possibly
+// grown) scratch for the caller to retain.
+func ThresholdInto(x []float64, k int, scratch []float64) (float64, []float64) {
 	if len(x) == 0 || k <= 0 {
-		return math.Inf(1)
+		return math.Inf(1), scratch
 	}
 	if k > len(x) {
 		k = len(x)
 	}
-	abs := make([]float64, len(x))
+	if cap(scratch) < len(x) {
+		scratch = make([]float64, len(x))
+	}
+	abs := scratch[:len(x)]
 	for i, v := range x {
 		abs[i] = math.Abs(v)
 	}
-	return quickselectDesc(abs, k-1, rand.New(rand.NewSource(int64(len(x))*2654435761+int64(k))))
+	th := quickselectDesc(abs, k-1, rand.New(rand.NewSource(int64(len(x))*2654435761+int64(k))))
+	return th, scratch
 }
 
 // quickselectDesc returns the element that would be at position idx if a
@@ -102,7 +116,19 @@ func SelectByThreshold(x []float64, th float64) []int32 {
 // AppendSelectByThreshold is SelectByThreshold appending into dst
 // (typically a reused scratch slice sliced to length zero), so steady-
 // state callers avoid reallocating the index buffer every iteration.
+// For positive thresholds the scan is a single |x_i| >= th compare per
+// element (math.Abs lowers to one bit-clear instruction, and a positive
+// threshold already excludes zeros); the zero-check branch only runs
+// for th <= 0.
 func AppendSelectByThreshold(dst []int32, x []float64, th float64) []int32 {
+	if th > 0 {
+		for i, v := range x {
+			if math.Abs(v) >= th {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
 	for i, v := range x {
 		if (v >= th || -v >= th) && v != 0 {
 			dst = append(dst, int32(i))
@@ -115,6 +141,14 @@ func AppendSelectByThreshold(dst []int32, x []float64, th float64) []int32 {
 // indexes.
 func CountAbove(x []float64, th float64) int {
 	n := 0
+	if th > 0 {
+		for _, v := range x {
+			if math.Abs(v) >= th {
+				n++
+			}
+		}
+		return n
+	}
 	for _, v := range x {
 		if (v >= th || -v >= th) && v != 0 {
 			n++

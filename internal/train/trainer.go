@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/netmodel"
 	"repro/internal/optimizer"
+	"repro/internal/tensor"
 )
 
 // Trainer is one rank's training state: workload replica, reduction
@@ -83,15 +84,13 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, rng *rand.Rand) StepStats {
 	loss, correct, total := tr.W.ComputeBatch(rng, tr.Batch)
 	clk.Sleep(tr.W.ComputeSeconds(tr.Batch))
 
-	// Algorithm 2 line 4: accumulate residuals.
+	// Algorithm 2 line 4: accumulate residuals (fused acc = ε + α·G).
 	grads := tr.W.Grads()
 	scale := tr.LR
 	if tr.RawGrad {
 		scale = 1
 	}
-	for i, g := range grads {
-		tr.acc[i] = tr.residual[i] + scale*g
-	}
+	tensor.ScaleAdd(tr.acc, scale, grads, tr.residual)
 
 	// Line 5: the collective reduction.
 	res := tr.Algo.Reduce(cm, tr.acc, t)
