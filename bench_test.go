@@ -57,6 +57,24 @@ func benchReduce(b *testing.B, name string, p, n, k int, params netmodel.Params,
 	b.ReportMetric(float64(agg.TotalSentWords)/float64(p)/float64(b.N), "words/rank")
 }
 
+// BenchmarkReduce is the per-algorithm collective micro-benchmark
+// behind BENCH_collectives.json: one cluster-wide Reduce per op at the
+// Table 1 shape (n=100k, k=1k), P ∈ {8, 32}. Run with -benchmem — the
+// allocs/op column is the steady-state allocation profile the pooled
+// payload stack is held to (see TestSteadyStateAllocBudget for the
+// enforced ceilings).
+func BenchmarkReduce(b *testing.B) {
+	n, k := 100000, 1000
+	for _, p := range []int{8, 32} {
+		for _, algo := range train.AlgorithmNames {
+			b.Run(fmt.Sprintf("%s/P=%d", algo, p), func(b *testing.B) {
+				benchReduce(b, algo, p, n, k, netmodel.PizDaint(),
+					allreduce.Config{K: k, TauPrime: 64, Tau: 64})
+			})
+		}
+	}
+}
+
 // BenchmarkTable1 regenerates the Table 1 regime: every algorithm's
 // communication volume and modeled time at several cluster sizes
 // (n=100k, k=1k — scale with -bench flags as needed).

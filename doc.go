@@ -13,11 +13,14 @@
 //	internal/core        the paper's contribution (O(k) sparse allreduce)
 //	internal/sparsecoll  baselines: TopkA, TopkDSA, gTopk, Gaussiank
 //	internal/allreduce   shared algorithm interface + dense baselines
-//	internal/collectives dense collective algorithms + wire-buffer pools
-//	internal/cluster     P-worker message-passing runtime (MPI stand-in)
+//	internal/collectives dense collective algorithms on pooled payloads
+//	internal/cluster     P-worker message-passing runtime (MPI stand-in):
+//	                     typed pooled messages, per-rank buffer pools with
+//	                     ownership-transfer, batched mailboxes, atomic
+//	                     sense-reversing barrier
 //	internal/netmodel    α-β cost model and phase-attributed clocks
 //	internal/topk        selection strategies and threshold reuse
-//	internal/sparse      COO sparse vectors
+//	internal/sparse      COO sparse vectors + single-owner Vec pools
 //	internal/quant       stochastic value quantization (QSGD-style)
 //	internal/nn          layers and the three workload models
 //	internal/data        synthetic Cifar/AN4/Wikipedia stand-ins

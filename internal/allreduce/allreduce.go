@@ -17,6 +17,18 @@ import (
 )
 
 // Result is the outcome of one collective gradient reduction.
+//
+// Ownership: Update and Contributed are instance-owned scratch of the
+// Algorithm that produced them — valid until the next Reduce call on
+// the same instance, at which point they are reused. Callers that need
+// the data longer must copy it. Update may be read freely and its
+// EXISTING entries scaled or zeroed in place (the trainer's averaging
+// does this), but callers must not write a nonzero into an entry that
+// is zero: the algorithms restore the buffer's all-zero invariant by
+// re-zeroing only the indexes they recorded writing, so a nonzero
+// smuggled in elsewhere would survive into every later Result. This is
+// what lets every algorithm run allocation-free in steady state instead
+// of materializing an n-word dense vector per iteration.
 type Result struct {
 	// Update is the dense sum over workers of the (selected) gradient
 	// contributions. The SGD step applies Update/P.
@@ -153,8 +165,11 @@ func ChargeScan(cm cluster.Endpoint, cfg Config, n int) {
 }
 
 // Dense is the single-allreduce baseline: one Rabenseifner/ring allreduce
-// over the full aggregated gradient (2n(P−1)/P volume).
-type Dense struct{}
+// over the full aggregated gradient (2n(P−1)/P volume). The result
+// buffer is instance-owned scratch, fully overwritten each iteration.
+type Dense struct {
+	sum []float64
+}
 
 // NewDense returns the dense baseline.
 func NewDense() *Dense { return &Dense{} }
@@ -163,9 +178,11 @@ func (*Dense) Name() string           { return "Dense" }
 func (*Dense) OverlapsBackward() bool { return false }
 
 // Reduce sums acc across all ranks densely.
-func (*Dense) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
+func (d *Dense) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
 	cm.Clock().SetPhase(netmodel.PhaseComm)
-	sum := tensor.Copy(acc)
+	sum := tensor.Ensure(d.sum, len(acc))
+	d.sum = sum
+	copy(sum, acc)
 	collectives.Allreduce(cm, sum)
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 	return Result{Update: sum, All: true, LocalK: len(acc), GlobalK: len(acc)}
@@ -178,6 +195,7 @@ func (*Dense) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
 // discounting exposed communication (OverlapsBackward).
 type DenseOvlp struct {
 	cfg Config
+	sum []float64
 }
 
 // NewDenseOvlp returns the overlapped dense baseline.
@@ -189,7 +207,9 @@ func (*DenseOvlp) OverlapsBackward() bool { return true }
 // Reduce sums acc across all ranks with bucketed allreduces.
 func (d *DenseOvlp) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
 	cm.Clock().SetPhase(netmodel.PhaseComm)
-	sum := tensor.Copy(acc)
+	sum := tensor.Ensure(d.sum, len(acc))
+	d.sum = sum
+	copy(sum, acc)
 	nb := d.cfg.DenseBuckets
 	if nb > len(sum) {
 		nb = len(sum)

@@ -9,38 +9,80 @@
 // Mailboxes are unbounded, i.e. sends use the eager protocol and never
 // deadlock against a missing receive; this mirrors how the paper's
 // mpi4py implementation exchanges small sparse chunks.
+//
+// The runtime is allocation-free in steady state: messages and the
+// common payload shapes ([]float64 buffers, Chunks, []Chunk containers)
+// are typed fields of Message rather than interface values, drawn from
+// per-rank freelists under the ownership-transfer protocol documented
+// in payload.go. The generic Send/Recv (any payload) remains for cold
+// paths and tests.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
 
-// Message is an in-flight point-to-point message.
+// payloadKind discriminates the typed payload fields of a Message.
+type payloadKind uint8
+
+const (
+	payloadAny payloadKind = iota
+	payloadFloats
+	payloadChunk
+	payloadChunks
+)
+
+// Message is an in-flight point-to-point message. The payload lives in
+// exactly one of Data (generic), floats, chunk or chunks, selected by
+// kind; typed payloads avoid the interface boxing allocation that a
+// plain `any` field forces on every send.
 type Message struct {
 	Src    int
 	Tag    int
-	Data   any     // payload; receivers type-assert
+	Data   any     // generic payload; receivers type-assert
 	Words  int     // accounted wire size in 8-byte words
 	Depart float64 // simulated departure time at the sender
+
+	kind   payloadKind
+	floats []float64
+	chunk  Chunk
+	chunks []Chunk
 }
 
-// mbKey identifies one (source, tag) message stream into a mailbox.
-type mbKey struct {
-	src, tag int
+// payload extracts the message payload as an interface value (boxing
+// typed payloads; only the generic Recv pays this).
+func (m *Message) payload() any {
+	switch m.kind {
+	case payloadFloats:
+		return m.floats
+	case payloadChunk:
+		return m.chunk
+	case payloadChunks:
+		return m.chunks
+	default:
+		return m.Data
+	}
+}
+
+// RecvKey identifies one (source, tag) message stream into a mailbox.
+type RecvKey struct {
+	Src, Tag int
 }
 
 // mbQueue is the FIFO for one (source, tag) stream. head indexes the
 // next message to deliver; popped slots are nilled and the backing array
 // is recycled once drained, so a long-lived stream does not grow without
-// bound. Each queue carries its own condition variable so a put wakes
-// only the receiver waiting on that exact stream, never the whole rank.
+// bound.
 type mbQueue struct {
-	cond *sync.Cond
 	msgs []*Message
 	head int
 }
@@ -63,25 +105,30 @@ func (q *mbQueue) pop() *Message {
 }
 
 // mailbox is one rank's inbox: per-(source, tag) FIFO queues under one
-// mutex. Matching is an O(1) map lookup instead of a linear scan, and
-// signaling is targeted at the stream's own condition variable instead
-// of broadcasting to every blocked receiver — the two hot-path costs of
-// the previous single-queue design.
+// mutex. Matching is an O(1) map lookup. Because a rank has exactly one
+// receiving goroutine, a single condition variable per mailbox suffices;
+// puts signal it only when that receiver is actually blocked (the
+// `waiting` flag), so steady-state puts into a busy rank are a
+// lock/append/unlock with no wakeup at all.
 type mailbox struct {
-	mu     sync.Mutex
-	queues map[mbKey]*mbQueue
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[RecvKey]*mbQueue
+	waiting bool
 }
 
 func newMailbox() *mailbox {
-	return &mailbox{queues: make(map[mbKey]*mbQueue)}
+	m := &mailbox{queues: make(map[RecvKey]*mbQueue)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
 }
 
 // queue returns the stream for key, creating it on first use. Caller
 // holds mu.
-func (m *mailbox) queue(key mbKey) *mbQueue {
+func (m *mailbox) queue(key RecvKey) *mbQueue {
 	q := m.queues[key]
 	if q == nil {
-		q = &mbQueue{cond: sync.NewCond(&m.mu)}
+		q = &mbQueue{}
 		m.queues[key] = q
 	}
 	return q
@@ -89,10 +136,12 @@ func (m *mailbox) queue(key mbKey) *mbQueue {
 
 func (m *mailbox) put(msg *Message) {
 	m.mu.Lock()
-	q := m.queue(mbKey{msg.Src, msg.Tag})
-	q.push(msg)
+	m.queue(RecvKey{msg.Src, msg.Tag}).push(msg)
+	wake := m.waiting
 	m.mu.Unlock()
-	q.cond.Signal()
+	if wake {
+		m.cond.Signal()
+	}
 }
 
 // take removes and returns the first queued message matching (src, tag),
@@ -101,49 +150,104 @@ func (m *mailbox) put(msg *Message) {
 func (m *mailbox) take(src, tag int) *Message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	q := m.queue(mbKey{src, tag})
+	q := m.queue(RecvKey{src, tag})
 	for q.empty() {
-		q.cond.Wait()
+		m.waiting = true
+		m.cond.Wait()
 	}
+	m.waiting = false
 	return q.pop()
 }
 
-// barrier is a reusable sense-reversing barrier that also synchronizes
-// the simulated clocks: all ranks leave at max(arrival times) plus the
-// modeled dissemination cost of ⌈log₂P⌉ latency steps.
+// takeEach pops exactly one message per key, invoking deliver in key
+// order (the order the caller's algorithm needs for deterministic
+// accumulation). Messages that are already queued are harvested in
+// batches under a single lock hold, so a receiver that fell behind a
+// burst of puts pays one lock round-trip per batch instead of one per
+// message.
+func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message)) {
+	var batch [16]*Message
+	i := 0
+	m.mu.Lock()
+	for i < len(keys) {
+		n := 0
+		for i+n < len(keys) && n < len(batch) {
+			q := m.queue(keys[i+n])
+			if q.empty() {
+				break
+			}
+			batch[n] = q.pop()
+			n++
+		}
+		if n == 0 {
+			m.waiting = true
+			m.cond.Wait()
+			continue
+		}
+		m.waiting = false
+		m.mu.Unlock()
+		for j := 0; j < n; j++ {
+			deliver(i+j, batch[j])
+			batch[j] = nil
+		}
+		i += n
+		m.mu.Lock()
+	}
+	m.waiting = false
+	m.mu.Unlock()
+}
+
+// barrier is a reusable sense-reversing barrier on atomics: arrivals
+// fetch-add a counter and CAS-max their simulated arrival time into the
+// current generation's slot; the last arrival resets the next
+// generation's slot and flips the sense, releasing the spinners. Two
+// time slots alternate by generation parity, which is safe because a
+// rank cannot arrive at generation g+2 before every rank has consumed
+// generation g's result. Waiters poll with a bounded scheduler yield
+// then sleep-backoff, so the barrier needs no mutex, condition
+// variable, or allocation and never monopolizes the run queue.
 type barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	size    int
-	count   int
-	gen     int
-	maxTime float64
+	size    int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+	maxTime [2]atomic.Uint64 // float64 bits of max arrival time, slot = gen&1
 }
 
 func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &barrier{size: int32(size)}
 }
 
 func (b *barrier) wait(t float64) float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if t > b.maxTime {
-		b.maxTime = t
-	}
-	b.count++
-	gen := b.gen
-	if b.count == b.size {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
+	gen := b.sense.Load()
+	slot := &b.maxTime[gen&1]
+	for {
+		old := slot.Load()
+		if math.Float64frombits(old) >= t {
+			break
+		}
+		if slot.CompareAndSwap(old, math.Float64bits(t)) {
+			break
 		}
 	}
-	return b.maxTime
+	if b.count.Add(1) == b.size {
+		b.count.Store(0)
+		b.maxTime[(gen+1)&1].Store(0)
+		res := math.Float64frombits(slot.Load())
+		b.sense.Add(1)
+		return res
+	}
+	// Bounded spin, then sleep-backoff: yielding alone is fine while the
+	// stragglers are about to arrive, but with P far above GOMAXPROCS a
+	// pure Gosched loop would churn the run queue and steal scheduler
+	// time from the ranks still computing.
+	for spins := 0; b.sense.Load() == gen; spins++ {
+		if spins < 32 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return math.Float64frombits(slot.Load())
 }
 
 // Cluster owns the shared state of one P-worker run.
@@ -152,7 +256,12 @@ type Cluster struct {
 	boxes    []*mailbox
 	barrier  *barrier
 	clocks   []*netmodel.Clock
+	comms    []Comm
+	pools    []rankPools
 	recorder *trace.Recorder
+
+	runErrs   []error
+	runPanics []any
 }
 
 // SetRecorder attaches a trace recorder; every subsequent send and
@@ -168,9 +277,15 @@ func New(size int, params netmodel.Params) *Cluster {
 	c := &Cluster{size: size, barrier: newBarrier(size)}
 	c.boxes = make([]*mailbox, size)
 	c.clocks = make([]*netmodel.Clock, size)
+	c.comms = make([]Comm, size)
+	c.pools = make([]rankPools, size)
+	c.runErrs = make([]error, size)
+	c.runPanics = make([]any, size)
 	for i := range c.boxes {
 		c.boxes[i] = newMailbox()
 		c.clocks[i] = netmodel.NewClock(params)
+		c.comms[i] = Comm{cluster: c, rank: i, clock: c.clocks[i]}
+		c.pools[i].chunks.clearOnPut = true
 	}
 	return c
 }
@@ -184,7 +299,7 @@ func (c *Cluster) Comm(rank int) *Comm {
 	if rank < 0 || rank >= c.size {
 		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, c.size))
 	}
-	return &Comm{cluster: c, rank: rank, clock: c.clocks[rank]}
+	return &c.comms[rank]
 }
 
 // Stats returns the per-rank clock snapshots after (or during) a run.
@@ -210,8 +325,12 @@ func (c *Cluster) ResetClocks() {
 // returned.
 func (c *Cluster) Run(body func(comm *Comm) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, c.size)
-	panics := make([]any, c.size)
+	errs := c.runErrs
+	panics := c.runPanics
+	for r := range errs {
+		errs[r] = nil
+		panics[r] = nil
+	}
 	for r := 0; r < c.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
@@ -221,7 +340,7 @@ func (c *Cluster) Run(body func(comm *Comm) error) error {
 					panics[rank] = p
 				}
 			}()
-			errs[rank] = body(c.Comm(rank))
+			errs[rank] = body(&c.comms[rank])
 		}(r)
 	}
 	wg.Wait()
@@ -240,14 +359,27 @@ func (c *Cluster) Run(body func(comm *Comm) error) error {
 
 // Endpoint is the communicator surface the collective algorithms are
 // written against: a rank within a group, tagged point-to-point
-// messaging, a simulated clock, and group synchronization. *Comm (the
-// world communicator) and *Group (a sub-communicator) implement it.
+// messaging (generic and typed/pooled), per-rank buffer pools, a
+// simulated clock, and group synchronization. *Comm (the world
+// communicator) and *Group (a sub-communicator) implement it.
 type Endpoint interface {
 	Rank() int
 	Size() int
 	Send(dst, tag int, data any, words int)
+	SendFloats(dst, tag int, x []float64, words int)
+	SendChunk(dst, tag int, ch Chunk, words int)
+	SendChunks(dst, tag int, chs []Chunk, words int)
 	Recv(src, tag int) any
 	RecvFloat64(src, tag int) []float64
+	RecvChunk(src, tag int) Chunk
+	RecvChunks(src, tag int) []Chunk
+	RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk))
+	GetFloats(n int) []float64
+	PutFloats(s []float64)
+	GetInt32s(n int) []int32
+	PutInt32s(s []int32)
+	GetChunks(n int) []Chunk
+	PutChunks(s []Chunk)
 	Clock() *netmodel.Clock
 	Barrier()
 	DrainSends()
@@ -273,10 +405,11 @@ func (cm *Comm) Size() int { return cm.cluster.size }
 // compute accounting.
 func (cm *Comm) Clock() *netmodel.Clock { return cm.clock }
 
-// Send transmits data of the given wire size (in words) to dst with the
-// tag. It is eager: the call never blocks on the receiver; the sender's
-// clock advances only to the NIC injection point.
-func (cm *Comm) Send(dst, tag int, data any, words int) {
+func (cm *Comm) pools() *rankPools { return &cm.cluster.pools[cm.rank] }
+
+// stampSend charges the send under the cost model, records it, and
+// returns a pooled message stamped with the departure time.
+func (cm *Comm) stampSend(dst, tag, words int) *Message {
 	if dst == cm.rank {
 		panic("cluster: send to self (use local buffers instead)")
 	}
@@ -287,31 +420,150 @@ func (cm *Comm) Send(dst, tag int, data any, words int) {
 			Tag: tag, Words: words, Time: depart,
 		})
 	}
-	cm.cluster.boxes[dst].put(&Message{
-		Src: cm.rank, Tag: tag, Data: data, Words: words, Depart: depart,
-	})
+	msg := cm.pools().getMsg()
+	msg.Src, msg.Tag, msg.Words, msg.Depart = cm.rank, tag, words, depart
+	return msg
 }
 
-// Recv blocks until a message with the given source and tag arrives,
-// charges its delivery under the cost model, and returns the payload.
-func (cm *Comm) Recv(src, tag int) any {
+// Send transmits a generic payload of the given wire size (in words) to
+// dst with the tag. It is eager: the call never blocks on the receiver;
+// the sender's clock advances only to the NIC injection point. Hot paths
+// use the typed variants below, which avoid boxing the payload.
+func (cm *Comm) Send(dst, tag int, data any, words int) {
+	msg := cm.stampSend(dst, tag, words)
+	msg.kind, msg.Data = payloadAny, data
+	cm.cluster.boxes[dst].put(msg)
+}
+
+// SendFloats transmits a []float64 payload without boxing. Ownership of
+// x transfers to the receiver (see payload.go); the receiver releases it
+// with PutFloats, so x must be pooled or freshly allocated — never a
+// live slice the sender will touch again.
+func (cm *Comm) SendFloats(dst, tag int, x []float64, words int) {
+	msg := cm.stampSend(dst, tag, words)
+	msg.kind, msg.floats = payloadFloats, x
+	cm.cluster.boxes[dst].put(msg)
+}
+
+// SendChunk transmits a single Chunk without boxing. Ownership of the
+// chunk's Data/Aux transfers to the receiver unless they fan out to
+// other ranks too (in which case the receiver must not release them).
+func (cm *Comm) SendChunk(dst, tag int, ch Chunk, words int) {
+	msg := cm.stampSend(dst, tag, words)
+	msg.kind, msg.chunk = payloadChunk, ch
+	cm.cluster.boxes[dst].put(msg)
+}
+
+// SendChunks transmits a chunk container without boxing. The container
+// itself transfers to the receiver (released with PutChunks); the
+// embedded Data/Aux payloads keep their own ownership rules.
+func (cm *Comm) SendChunks(dst, tag int, chs []Chunk, words int) {
+	msg := cm.stampSend(dst, tag, words)
+	msg.kind, msg.chunks = payloadChunks, chs
+	cm.cluster.boxes[dst].put(msg)
+}
+
+// recvMsg blocks for the message, charges its delivery under the cost
+// model and records it. The caller extracts the payload and releases the
+// message via release().
+func (cm *Comm) recvMsg(src, tag int) *Message {
 	if src == cm.rank {
 		panic("cluster: recv from self")
 	}
 	msg := cm.cluster.boxes[cm.rank].take(src, tag)
+	cm.deliver(msg)
+	return msg
+}
+
+// deliver charges and records an already-matched message.
+func (cm *Comm) deliver(msg *Message) {
 	cm.clock.StampRecv(msg.Depart, msg.Words)
 	if rec := cm.cluster.recorder; rec != nil {
 		rec.Record(trace.Event{
-			Kind: trace.RecvEvent, Rank: cm.rank, Peer: src,
-			Tag: tag, Words: msg.Words, Time: cm.clock.Now(),
+			Kind: trace.RecvEvent, Rank: cm.rank, Peer: msg.Src,
+			Tag: msg.Tag, Words: msg.Words, Time: cm.clock.Now(),
 		})
 	}
-	return msg.Data
 }
 
-// RecvFloat64 receives and type-asserts a []float64 payload.
+func (cm *Comm) release(msg *Message) { cm.pools().putMsg(msg) }
+
+// Recv blocks until a message with the given source and tag arrives,
+// charges its delivery under the cost model, and returns the payload.
+// Typed payloads are boxed; hot paths use the typed receives below.
+func (cm *Comm) Recv(src, tag int) any {
+	msg := cm.recvMsg(src, tag)
+	data := msg.payload()
+	cm.release(msg)
+	return data
+}
+
+// RecvFloat64 receives a []float64 payload (sent with SendFloats or a
+// generic Send). The caller owns the buffer and should release it with
+// PutFloats once consumed.
 func (cm *Comm) RecvFloat64(src, tag int) []float64 {
-	return cm.Recv(src, tag).([]float64)
+	msg := cm.recvMsg(src, tag)
+	var x []float64
+	if msg.kind == payloadFloats {
+		x = msg.floats
+	} else {
+		x = msg.Data.([]float64)
+	}
+	cm.release(msg)
+	return x
+}
+
+// RecvChunk receives a single-chunk payload. Ownership of Data/Aux
+// follows the sender's convention (pooled point-to-point payloads are
+// released by this rank; fanned-out payloads must not be).
+func (cm *Comm) RecvChunk(src, tag int) Chunk {
+	msg := cm.recvMsg(src, tag)
+	var ch Chunk
+	if msg.kind == payloadChunk {
+		ch = msg.chunk
+	} else {
+		ch = msg.Data.(Chunk)
+	}
+	cm.release(msg)
+	return ch
+}
+
+// RecvChunks receives a multi-chunk container. The caller releases the
+// container with PutChunks after copying the chunks out.
+func (cm *Comm) RecvChunks(src, tag int) []Chunk {
+	msg := cm.recvMsg(src, tag)
+	var chs []Chunk
+	if msg.kind == payloadChunks {
+		chs = msg.chunks
+	} else {
+		chs = msg.Data.([]Chunk)
+	}
+	cm.release(msg)
+	return chs
+}
+
+// RecvChunkEach receives one single-chunk message per key, delivering
+// them to fn in key order (so float accumulation stays deterministic)
+// while harvesting already-arrived messages in batches under one
+// mailbox lock hold. This is the multi-stream receive the split-and-
+// reduce phase drains its P−1 region messages with.
+func (cm *Comm) RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk)) {
+	for _, k := range keys {
+		if k.Src == cm.rank {
+			panic("cluster: recv from self")
+		}
+	}
+	cm.cluster.boxes[cm.rank].takeEach(keys, func(i int, msg *Message) {
+		cm.deliver(msg)
+		var ch Chunk
+		if msg.kind == payloadChunk {
+			ch = msg.chunk
+		} else {
+			ch = msg.Data.(Chunk)
+		}
+		cm.release(msg)
+		fn(i, ch)
+	})
 }
 
 // Barrier synchronizes all ranks and their clocks, charging a

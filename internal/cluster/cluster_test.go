@@ -134,7 +134,7 @@ func TestMailboxQueueRecycles(t *testing.T) {
 			t.Fatalf("wrong message %v at %d", msg.Data, i)
 		}
 	}
-	q := m.queues[mbKey{1, 2}]
+	q := m.queues[RecvKey{1, 2}]
 	if q == nil {
 		t.Fatal("queue missing")
 	}

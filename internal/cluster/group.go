@@ -23,6 +23,7 @@ type Group struct {
 	myRank   int   // rank within the group
 	tagShift int
 	barSeq   int
+	keybuf   []RecvKey // scratch for RecvChunkEach key translation
 }
 
 var _ Endpoint = (*Group)(nil)
@@ -60,9 +61,25 @@ func (g *Group) WorldRank(r int) int { return g.ranks[r] }
 // Clock exposes the underlying rank's clock.
 func (g *Group) Clock() *netmodel.Clock { return g.world.Clock() }
 
-// Send transmits to a group rank.
+// Send transmits a generic payload to a group rank.
 func (g *Group) Send(dst, tag int, data any, words int) {
 	g.world.Send(g.ranks[dst], tag+g.tagShift, data, words)
+}
+
+// SendFloats transmits a []float64 payload to a group rank (ownership
+// transfers; see payload.go).
+func (g *Group) SendFloats(dst, tag int, x []float64, words int) {
+	g.world.SendFloats(g.ranks[dst], tag+g.tagShift, x, words)
+}
+
+// SendChunk transmits a single Chunk to a group rank.
+func (g *Group) SendChunk(dst, tag int, ch Chunk, words int) {
+	g.world.SendChunk(g.ranks[dst], tag+g.tagShift, ch, words)
+}
+
+// SendChunks transmits a chunk container to a group rank.
+func (g *Group) SendChunks(dst, tag int, chs []Chunk, words int) {
+	g.world.SendChunks(g.ranks[dst], tag+g.tagShift, chs, words)
 }
 
 // Recv receives from a group rank.
@@ -70,24 +87,67 @@ func (g *Group) Recv(src, tag int) any {
 	return g.world.Recv(g.ranks[src], tag+g.tagShift)
 }
 
-// RecvFloat64 receives and type-asserts a []float64 payload.
+// RecvFloat64 receives a []float64 payload from a group rank.
 func (g *Group) RecvFloat64(src, tag int) []float64 {
-	return g.Recv(src, tag).([]float64)
+	return g.world.RecvFloat64(g.ranks[src], tag+g.tagShift)
 }
+
+// RecvChunk receives a single-chunk payload from a group rank.
+func (g *Group) RecvChunk(src, tag int) Chunk {
+	return g.world.RecvChunk(g.ranks[src], tag+g.tagShift)
+}
+
+// RecvChunks receives a multi-chunk container from a group rank.
+func (g *Group) RecvChunks(src, tag int) []Chunk {
+	return g.world.RecvChunks(g.ranks[src], tag+g.tagShift)
+}
+
+// RecvChunkEach receives one single-chunk message per (group rank, tag)
+// key in key order, translating keys into the world namespace.
+func (g *Group) RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk)) {
+	if cap(g.keybuf) < len(keys) {
+		g.keybuf = make([]RecvKey, len(keys))
+	}
+	wk := g.keybuf[:len(keys)]
+	for i, k := range keys {
+		wk[i] = RecvKey{Src: g.ranks[k.Src], Tag: k.Tag + g.tagShift}
+	}
+	g.world.RecvChunkEach(wk, fn)
+}
+
+// GetFloats draws from the underlying rank's pool.
+func (g *Group) GetFloats(n int) []float64 { return g.world.GetFloats(n) }
+
+// PutFloats releases to the underlying rank's pool.
+func (g *Group) PutFloats(s []float64) { g.world.PutFloats(s) }
+
+// GetInt32s draws from the underlying rank's pool.
+func (g *Group) GetInt32s(n int) []int32 { return g.world.GetInt32s(n) }
+
+// PutInt32s releases to the underlying rank's pool.
+func (g *Group) PutInt32s(s []int32) { g.world.PutInt32s(s) }
+
+// GetChunks draws from the underlying rank's pool.
+func (g *Group) GetChunks(n int) []Chunk { return g.world.GetChunks(n) }
+
+// PutChunks releases to the underlying rank's pool.
+func (g *Group) PutChunks(s []Chunk) { g.world.PutChunks(s) }
 
 // DrainSends waits for the send NIC to go idle.
 func (g *Group) DrainSends() { g.world.DrainSends() }
 
 // Barrier synchronizes the group with a dissemination barrier: ⌈log₂S⌉
 // rounds of token exchanges within the group, all costed by the network
-// model. A sequence number keeps successive barriers' tokens apart.
+// model. Alternating between two tag blocks by sequence parity keeps
+// successive barriers' tokens apart without minting a fresh (src, tag)
+// stream — and thus a fresh mailbox queue — per barrier.
 func (g *Group) Barrier() {
 	p := g.Size()
 	if p == 1 {
 		return
 	}
 	g.barSeq++
-	base := (13 << 20) + g.barSeq*64
+	base := (13 << 20) + (g.barSeq&1)*64
 	steps := bits.Len(uint(p - 1))
 	for s := 0; s < steps; s++ {
 		dist := 1 << s

@@ -1,0 +1,150 @@
+package cluster
+
+// Typed wire payloads and the per-rank buffer pools behind the
+// zero-allocation steady state of the collective stack.
+//
+// # Ownership-transfer protocol
+//
+// Every pooled buffer has exactly one owner at any time:
+//
+//  1. the sender draws a buffer from ITS OWN rank pool (GetFloats /
+//     GetInt32s / GetChunks), fills it, and relinquishes ownership by
+//     passing it to SendFloats / SendChunk / SendChunks;
+//  2. the message carries the buffer; while in flight nobody may touch
+//     it;
+//  3. the receiver takes ownership on Recv*, folds the contents into
+//     local state, and returns the buffer to ITS OWN rank pool
+//     (PutFloats / PutInt32s / PutChunks).
+//
+// Buffers therefore migrate between rank pools over the lifetime of a
+// run, which is what makes the steady state allocation-free: after a
+// few iterations every pool holds enough right-sized buffers for its
+// rank's send fan-out. Because each pool is only ever touched from its
+// own rank's goroutine (the documented Comm threading contract), the
+// pools need no locks; the mailbox mutex provides the happens-before
+// edge between the sender's writes and the receiver's reads.
+//
+// Returning a buffer is always optional: a buffer that is never Put is
+// simply collected by the GC. What is NEVER allowed is releasing a
+// buffer that another rank can still observe — payloads that fan out to
+// several ranks (allgathered chunks, the old shared-broadcast payloads)
+// must be freshly allocated by the sender and must never be Put.
+
+// Chunk is a tagged variable-size wire payload: one origin rank's
+// (values, indexes) contribution. It is the message unit of every
+// sparse collective; the collectives package re-exports it as
+// collectives.Chunk.
+type Chunk struct {
+	Origin int
+	Data   []float64
+	Aux    []int32 // optional parallel index payload (COO indexes)
+	// WordsOverride, when positive, replaces the default wire-size
+	// accounting (one word per element). Compressed payloads — e.g.
+	// quantized values — set it to their packed size.
+	WordsOverride int
+}
+
+// Words returns the accounted wire size of the chunk.
+func (c Chunk) Words() int {
+	if c.WordsOverride > 0 {
+		return c.WordsOverride
+	}
+	return len(c.Data) + len(c.Aux)
+}
+
+// poolCap bounds each freelist so a pathological phase cannot pin
+// unbounded memory; overflowing buffers fall back to the GC.
+const poolCap = 256
+
+// freelist is a LIFO of reusable slices. get pops the most recent
+// buffer and reuses it when its capacity fits; an undersized buffer is
+// dropped rather than pushed back, so stale small buffers age out.
+// clearOnPut zeroes released elements first (needed when the element
+// type holds references — []Chunk payloads — so the GC can reclaim
+// them).
+type freelist[T any] struct {
+	free       [][]T
+	clearOnPut bool
+}
+
+func (f *freelist[T]) get(n int) []T {
+	if l := len(f.free); l > 0 {
+		s := f.free[l-1]
+		f.free[l-1] = nil
+		f.free = f.free[:l-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]T, n)
+}
+
+func (f *freelist[T]) put(s []T) {
+	if s == nil || len(f.free) >= poolCap {
+		return
+	}
+	if f.clearOnPut {
+		clear(s)
+	}
+	f.free = append(f.free, s[:0])
+}
+
+// rankPools is one rank's lock-free buffer freelists. All access is
+// from that rank's goroutine only.
+type rankPools struct {
+	msgs   []*Message
+	floats freelist[float64]
+	ints   freelist[int32]
+	chunks freelist[Chunk] // clearOnPut: drop payload references
+}
+
+func (p *rankPools) getMsg() *Message {
+	if n := len(p.msgs); n > 0 {
+		m := p.msgs[n-1]
+		p.msgs[n-1] = nil
+		p.msgs = p.msgs[:n-1]
+		return m
+	}
+	return new(Message)
+}
+
+func (p *rankPools) putMsg(m *Message) {
+	*m = Message{}
+	if len(p.msgs) < poolCap {
+		p.msgs = append(p.msgs, m)
+	}
+}
+
+// GetFloats returns a length-n value buffer from this rank's pool.
+// Contents are unspecified; the caller overwrites the full length
+// before sending. See the ownership-transfer protocol above.
+func (cm *Comm) GetFloats(n int) []float64 { return cm.pools().floats.get(n) }
+
+// PutFloats returns a value buffer to this rank's pool. The caller must
+// hold the only remaining reference; nil is a no-op.
+func (cm *Comm) PutFloats(s []float64) { cm.pools().floats.put(s) }
+
+// GetInt32s returns a length-n index buffer from this rank's pool.
+func (cm *Comm) GetInt32s(n int) []int32 { return cm.pools().ints.get(n) }
+
+// PutInt32s returns an index buffer to this rank's pool; nil is a no-op.
+func (cm *Comm) PutInt32s(s []int32) { cm.pools().ints.put(s) }
+
+// GetChunks returns a length-n chunk container from this rank's pool.
+// Containers carry multi-chunk messages (SendChunks); the receiver
+// releases them with PutChunks after copying the chunks out.
+func (cm *Comm) GetChunks(n int) []Chunk { return cm.pools().chunks.get(n) }
+
+// PutChunks returns a chunk container to this rank's pool. Only the
+// container is recycled; the chunks' Data/Aux payloads keep whatever
+// ownership they had.
+func (cm *Comm) PutChunks(s []Chunk) { cm.pools().chunks.put(s) }
+
+// PooledBuffers exposes a snapshot of one rank's pooled value and index
+// buffers for tests (the payload-ownership property test asserts that
+// no backing array is reachable from two pools at once). Not for
+// production use.
+func (c *Cluster) PooledBuffers(rank int) (floats [][]float64, ints [][]int32) {
+	p := &c.pools[rank]
+	return append([][]float64(nil), p.floats.free...), append([][]int32(nil), p.ints.free...)
+}

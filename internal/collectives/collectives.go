@@ -11,6 +11,11 @@
 //
 // Word accounting follows the paper: every transmitted element (value or
 // index) is one word.
+//
+// All point-to-point payloads ride the typed, pooled message paths of
+// the cluster runtime (SendFloats/SendChunk/SendChunks), so a collective
+// in steady state allocates nothing: outgoing copies come from the
+// sender's rank pool and are released into the receiver's.
 package collectives
 
 import (
@@ -78,11 +83,13 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 	// Reduce-scatter by recursive halving. At step s the active range
 	// halves; each rank exchanges the half it will not own with its
 	// partner at distance p>>(s+1). Ranges are recorded so the reverse
-	// allgather handles odd-size halves exactly.
+	// allgather handles odd-size halves exactly. The span stack is tiny
+	// (log₂P entries) and lives on the stack.
 	lo, hi := 0, n
 	steps := bits.Len(uint(p)) - 1
 	type span struct{ lo, hi int }
-	parents := make([]span, 0, steps)
+	var spanBuf [32]span
+	parents := spanBuf[:0]
 	for s := 0; s < steps; s++ {
 		dist := p >> (s + 1)
 		partner := rank ^ dist
@@ -95,14 +102,14 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		cm.Send(partner, tagAllreduce+s, sendCopy(x[sendLo:sendHi]), sendHi-sendLo)
+		cm.SendFloats(partner, tagAllreduce+s, sendCopy(cm, x[sendLo:sendHi]), sendHi-sendLo)
 		recv := cm.RecvFloat64(partner, tagAllreduce+s)
 		if len(recv) != keepHi-keepLo {
 			panic(fmt.Sprintf("collectives: rabenseifner block mismatch %d != %d", len(recv), keepHi-keepLo))
 		}
 		cm.Clock().Compute(float64(len(recv)))
 		tensor.Axpy(1, recv, x[keepLo:keepHi])
-		PutFloats(recv)
+		cm.PutFloats(recv)
 		lo, hi = keepLo, keepHi
 	}
 	// Allgather by recursive doubling: reverse the halving, restoring
@@ -117,13 +124,13 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			partnerLo, partnerHi = parent.lo, lo
 		}
-		cm.Send(partner, tagAllreduce+1024+s, sendCopy(x[lo:hi]), hi-lo)
+		cm.SendFloats(partner, tagAllreduce+1024+s, sendCopy(cm, x[lo:hi]), hi-lo)
 		recv := cm.RecvFloat64(partner, tagAllreduce+1024+s)
 		if len(recv) != partnerHi-partnerLo {
 			panic(fmt.Sprintf("collectives: rabenseifner allgather mismatch %d != %d", len(recv), partnerHi-partnerLo))
 		}
 		copy(x[partnerLo:partnerHi], recv)
-		PutFloats(recv)
+		cm.PutFloats(recv)
 		lo, hi = parent.lo, parent.hi
 	}
 }
@@ -143,23 +150,23 @@ func AllreduceRing(cm cluster.Endpoint, x []float64) {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+2048+s, sendCopy(x[slo:shi]), shi-slo)
+		cm.SendFloats(next, tagAllreduce+2048+s, sendCopy(cm, x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+2048+s)
 		rlo, rhi := blockRange(n, p, rb)
 		cm.Clock().Compute(float64(rhi - rlo))
 		tensor.Axpy(1, recv, x[rlo:rhi])
-		PutFloats(recv)
+		cm.PutFloats(recv)
 	}
 	// Allgather ring: circulate the finished blocks.
 	for s := 0; s < p-1; s++ {
 		sb := ((rank-s+1)%p + p) % p
 		rb := ((rank-s)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+4096+s, sendCopy(x[slo:shi]), shi-slo)
+		cm.SendFloats(next, tagAllreduce+4096+s, sendCopy(cm, x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+4096+s)
 		rlo, rhi := blockRange(n, p, rb)
 		copy(x[rlo:rhi], recv)
-		PutFloats(recv)
+		cm.PutFloats(recv)
 	}
 }
 
@@ -178,12 +185,12 @@ func ReduceScatterBlock(cm cluster.Endpoint, x []float64) (lo, hi int) {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.Send(next, tagAllreduce+8192+s, sendCopy(x[slo:shi]), shi-slo)
+		cm.SendFloats(next, tagAllreduce+8192+s, sendCopy(cm, x[slo:shi]), shi-slo)
 		recv := cm.RecvFloat64(prev, tagAllreduce+8192+s)
 		rlo, rhi := blockRange(n, p, rb)
 		cm.Clock().Compute(float64(rhi - rlo))
 		tensor.Axpy(1, recv, x[rlo:rhi])
-		PutFloats(recv)
+		cm.PutFloats(recv)
 	}
 	return blockRange(n, p, (rank+1)%p)
 }
@@ -211,10 +218,10 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 			myBase := rank &^ (dist - 1)
 			partnerBase := partner &^ (dist - 1)
 			myLo := myBase * bn
-			cm.Send(partner, tagAllgather+s, sendCopy(out[myLo:myLo+dist*bn]), dist*bn)
+			cm.SendFloats(partner, tagAllgather+s, sendCopy(cm, out[myLo:myLo+dist*bn]), dist*bn)
 			recv := cm.RecvFloat64(partner, tagAllgather+s)
 			copy(out[partnerBase*bn:(partnerBase+dist)*bn], recv)
-			PutFloats(recv)
+			cm.PutFloats(recv)
 		}
 		return
 	}
@@ -224,10 +231,10 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 	for s := 0; s < p-1; s++ {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
-		cm.Send(next, tagAllgather+1024+s, sendCopy(out[sb*bn:(sb+1)*bn]), bn)
+		cm.SendFloats(next, tagAllgather+1024+s, sendCopy(cm, out[sb*bn:(sb+1)*bn]), bn)
 		recv := cm.RecvFloat64(prev, tagAllgather+1024+s)
 		copy(out[rb*bn:(rb+1)*bn], recv)
-		PutFloats(recv)
+		cm.PutFloats(recv)
 	}
 }
 
@@ -235,84 +242,107 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 // and returns the full size vector. This is the (log P)α-only collective
 // the balance phase uses to plan data balancing.
 func AllgatherSizes(cm cluster.Endpoint, mySize int) []int {
-	p, rank := cm.Size(), cm.Rank()
-	sizes := make([]float64, p)
-	block := []float64{float64(mySize)}
-	_ = rank
-	Allgather(cm, block, sizes)
-	out := make([]int, p)
-	for i, v := range sizes {
-		out[i] = int(v)
+	sizes, _ := AllgatherSizesInto(cm, mySize, nil, nil)
+	return sizes
+}
+
+// AllgatherSizesInto is AllgatherSizes with caller-retained scratch: the
+// int result and the float wire staging buffer are reused across calls,
+// so the steady-state balance phase allocates nothing. Both (possibly
+// grown) slices are returned for the caller to keep.
+func AllgatherSizesInto(cm cluster.Endpoint, mySize int, sizes []int, scratch []float64) ([]int, []float64) {
+	p := cm.Size()
+	if cap(scratch) < p {
+		scratch = make([]float64, p)
 	}
-	return out
+	fs := scratch[:p]
+	block := [1]float64{float64(mySize)}
+	Allgather(cm, block[:], fs)
+	if cap(sizes) < p {
+		sizes = make([]int, p)
+	}
+	sizes = sizes[:p]
+	for i, v := range fs {
+		sizes[i] = int(v)
+	}
+	return sizes, scratch
 }
 
 // Chunk is a tagged variable-size payload for Allgatherv: the data
-// contributed by one origin rank.
-type Chunk struct {
-	Origin int
-	Data   []float64
-	Aux    []int32 // optional parallel index payload (COO indexes)
-	// WordsOverride, when positive, replaces the default wire-size
-	// accounting (one word per element). Compressed payloads — e.g.
-	// quantized values — set it to their packed size.
-	WordsOverride int
-}
-
-func (c Chunk) Words() int {
-	if c.WordsOverride > 0 {
-		return c.WordsOverride
-	}
-	return len(c.Data) + len(c.Aux)
-}
+// contributed by one origin rank. It is an alias of the cluster
+// runtime's wire chunk, which travels without boxing.
+type Chunk = cluster.Chunk
 
 // Allgatherv gathers variable-size contributions from every rank onto
-// all ranks using a recursive-doubling (for power-of-two P) or ring
-// schedule. The result is indexed by origin rank. Each element of a
-// chunk (value or aux index) is one word.
+// all ranks. The result is indexed by origin rank. Each element of a
+// chunk (value or aux index) is one word. The gathered chunks' Data/Aux
+// fan out to every rank and therefore must be freshly allocated by their
+// origin — never pooled.
 func Allgatherv(cm cluster.Endpoint, mine Chunk) []Chunk {
+	return AllgathervInto(cm, mine, make([]Chunk, cm.Size()))
+}
+
+// AllgathervInto is Allgatherv with a caller-retained result slice
+// (grown as needed and returned), using a recursive-doubling (for
+// power-of-two P) or ring schedule. The multi-chunk containers of the
+// recursive-doubling exchange come from the sender's rank pool and are
+// released into the receiver's, so steady-state calls allocate nothing.
+// The result is valid until the caller's next use of the scratch.
+func AllgathervInto(cm cluster.Endpoint, mine Chunk, result []Chunk) []Chunk {
 	p := cm.Size()
 	mine.Origin = cm.Rank()
-	result := make([]Chunk, p)
+	if cap(result) < p {
+		result = make([]Chunk, p)
+	}
+	result = result[:p]
+	for i := range result {
+		result[i] = Chunk{}
+	}
 	result[cm.Rank()] = mine
 	if p == 1 {
 		return result
 	}
 	if isPow2(p) {
 		rank := cm.Rank()
-		have := []int{rank}
+		// Before the step at distance dist, rank holds exactly the chunks
+		// of its aligned block [base, base+dist); exchange them all.
 		for s, dist := 0, 1; dist < p; s, dist = s+1, dist*2 {
 			partner := rank ^ dist
-			send := make([]Chunk, 0, len(have))
+			myBase := rank &^ (dist - 1)
+			send := cm.GetChunks(dist)
 			words := 0
-			for _, o := range have {
-				send = append(send, result[o])
-				words += result[o].Words()
+			for i := 0; i < dist; i++ {
+				send[i] = result[myBase+i]
+				words += send[i].Words()
 			}
-			cm.Send(partner, tagVGather+s, send, words)
-			recv := cm.Recv(partner, tagVGather+s).([]Chunk)
+			cm.SendChunks(partner, tagVGather+s, send, words)
+			recv := cm.RecvChunks(partner, tagVGather+s)
 			for _, ch := range recv {
 				result[ch.Origin] = ch
-				have = append(have, ch.Origin)
 			}
+			cm.PutChunks(recv)
 		}
 		return result
 	}
-	// Ring for non-power-of-two sizes: circulate chunks P−1 steps.
+	// Ring for non-power-of-two sizes: circulate chunks P−1 steps. Each
+	// chunk's payload is retained by every rank it passes, so nothing on
+	// this path is pooled.
 	rank := cm.Rank()
 	next := (rank + 1) % p
 	prev := (rank - 1 + p) % p
 	cur := mine
 	for s := 0; s < p-1; s++ {
-		cm.Send(next, tagVGather+1024+s, cur, cur.Words())
-		cur = cm.Recv(prev, tagVGather+1024+s).(Chunk)
+		cm.SendChunk(next, tagVGather+1024+s, cur, cur.Words())
+		cur = cm.RecvChunk(prev, tagVGather+1024+s)
 		result[cur.Origin] = cur
 	}
 	return result
 }
 
 // Bcast broadcasts root's vector to all ranks along a binomial tree and
-// returns the received (or original) data.
+// returns the received (or original) data. Each hop forwards pooled
+// copies, so a non-root caller owns the returned buffer and may release
+// it with cm.PutFloats once consumed (root gets its own input back).
 func Bcast(cm cluster.Endpoint, root int, data []float64) []float64 {
 	p := cm.Size()
 	if p == 1 {
@@ -329,7 +359,7 @@ func Bcast(cm cluster.Endpoint, root int, data []float64) []float64 {
 		if vrank&(d-1) == 0 && vrank&d == 0 {
 			child := vrank | d
 			if child < p {
-				cm.Send((child+root)%p, tagBcast, append([]float64(nil), data...), len(data))
+				cm.SendFloats((child+root)%p, tagBcast, sendCopy(cm, data), len(data))
 			}
 		}
 	}
@@ -348,7 +378,7 @@ func Reduce(cm cluster.Endpoint, root int, x []float64) {
 	for d := 1; d < p; d *= 2 {
 		if vrank&d != 0 {
 			parent := (vrank&^d + root) % p
-			cm.Send(parent, tagReduce+d, sendCopy(x), len(x))
+			cm.SendFloats(parent, tagReduce+d, sendCopy(cm, x), len(x))
 			return
 		}
 		child := vrank | d
@@ -356,18 +386,19 @@ func Reduce(cm cluster.Endpoint, root int, x []float64) {
 			recv := cm.RecvFloat64((child+root)%p, tagReduce+d)
 			cm.Clock().Compute(float64(len(recv)))
 			tensor.Axpy(1, recv, x)
-			PutFloats(recv)
+			cm.PutFloats(recv)
 		}
 	}
 }
 
 // GatherChunks collects one variable-size chunk per rank onto root (nil
 // on other ranks), via direct sends — the simple pattern TopkA-style
-// roots use.
+// roots use. Payload ownership stays with the senders (root must not
+// release the gathered Data/Aux).
 func GatherChunks(cm cluster.Endpoint, root int, mine Chunk) []Chunk {
 	mine.Origin = cm.Rank()
 	if cm.Rank() != root {
-		cm.Send(root, tagGather, mine, mine.Words())
+		cm.SendChunk(root, tagGather, mine, mine.Words())
 		return nil
 	}
 	out := make([]Chunk, cm.Size())
@@ -376,7 +407,7 @@ func GatherChunks(cm cluster.Endpoint, root int, mine Chunk) []Chunk {
 		if r == root {
 			continue
 		}
-		ch := cm.Recv(r, tagGather).(Chunk)
+		ch := cm.RecvChunk(r, tagGather)
 		out[ch.Origin] = ch
 	}
 	return out

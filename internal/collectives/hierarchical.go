@@ -52,16 +52,22 @@ func HierarchicalAllreduce(cm *cluster.Comm, x []float64, nodeSize int) {
 		Allreduce(inter, x)
 	}
 
-	// (3) Broadcast the result within the node.
+	// (3) Broadcast the result within the node. Non-leaders receive a
+	// pooled hop buffer they own; fold it into x and release it.
 	res := Bcast(intra, 0, x)
-	copy(x, res)
+	if local != 0 {
+		copy(x, res)
+		intra.PutFloats(res)
+	}
 }
 
 // Alltoall performs a personalized exchange: sendBlocks[r] goes to rank
 // r; the returned slice holds what every rank sent to the caller
 // (indexed by source). Blocks may have different sizes (an MPI
 // Alltoallv). The schedule is the rotated pattern Ok-Topk's split phase
-// uses, avoiding endpoint congestion.
+// uses, avoiding endpoint congestion. Received blocks (every entry but
+// the caller's own) are pooled hop buffers the caller owns and may
+// release with cm.PutFloats once consumed.
 func Alltoall(cm cluster.Endpoint, sendBlocks [][]float64) [][]float64 {
 	p, rank := cm.Size(), cm.Rank()
 	if len(sendBlocks) != p {
@@ -73,7 +79,7 @@ func Alltoall(cm cluster.Endpoint, sendBlocks [][]float64) [][]float64 {
 	for s := 1; s < p; s++ {
 		dst := (rank + s) % p
 		src := (rank - s + p) % p
-		cm.Send(dst, tagA2A+s, append([]float64(nil), sendBlocks[dst]...), len(sendBlocks[dst]))
+		cm.SendFloats(dst, tagA2A+s, sendCopy(cm, sendBlocks[dst]), len(sendBlocks[dst]))
 		out[src] = cm.RecvFloat64(src, tagA2A+s)
 	}
 	return out
@@ -100,6 +106,7 @@ func ReduceScatterV(cm cluster.Endpoint, x []float64, cuts []int) []float64 {
 		}
 		cm.Clock().Compute(float64(len(blk)))
 		tensor.Axpy(1, blk, mine)
+		cm.PutFloats(blk)
 	}
 	return mine
 }

@@ -1,79 +1,28 @@
 package collectives
 
-import "sync"
+import "repro/internal/cluster"
 
-// Wire-buffer pools. Every step of a dense collective used to allocate a
-// fresh []float64 for the outgoing copy and leave the received buffer to
-// the garbage collector; at n-sized payloads over P−1 steps per
-// iteration that allocation churn dominates the runtime's wall-clock
-// cost. Instead, senders draw outgoing copies from these pools and the
-// matching receiver releases the buffer once its contents are folded
-// into local state.
+// Wire buffers come from the per-rank freelists owned by the cluster
+// runtime (see cluster/payload.go for the ownership-transfer protocol):
+// a sender draws the outgoing copy from its own rank pool with
+// cm.GetFloats, the message carries it, and the matching receiver
+// returns it to its own pool with cm.PutFloats once the contents are
+// folded into local state. The pools are lock-free because each is
+// touched only by its rank's goroutine; buffers migrate between rank
+// pools over a run, which is what makes the steady state of every
+// collective in this package allocation-free.
 //
-// The ownership protocol is strict and local to each collective: a
-// pooled buffer is written by exactly one sender, carried by exactly one
-// message, and read by exactly one receiver, which must call the Put
-// function afterwards. Payloads that fan out to multiple ranks (e.g.
-// Allgatherv chunks, which are forwarded along the recursive-doubling
-// tree, or Bcast data) must NOT be pooled — several ranks hold
-// references to the same backing array.
-var (
-	floatPool = sync.Pool{New: func() any { return new([]float64) }}
-	int32Pool = sync.Pool{New: func() any { return new([]int32) }}
-)
-
-// GetFloats returns a length-n buffer from the pool. Contents are
-// unspecified; callers overwrite the full length before sending.
-func GetFloats(n int) []float64 {
-	p := floatPool.Get().(*[]float64)
-	s := *p
-	*p = nil
-	floatPool.Put(p)
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-// PutFloats returns a buffer to the pool. The caller must hold the only
-// remaining reference. Non-pooled buffers may also be offered; nil is a
-// no-op.
-func PutFloats(s []float64) {
-	if s == nil {
-		return
-	}
-	p := floatPool.Get().(*[]float64)
-	*p = s[:0]
-	floatPool.Put(p)
-}
-
-// GetInt32s returns a length-n index buffer from the pool.
-func GetInt32s(n int) []int32 {
-	p := int32Pool.Get().(*[]int32)
-	s := *p
-	*p = nil
-	int32Pool.Put(p)
-	if cap(s) < n {
-		return make([]int32, n)
-	}
-	return s[:n]
-}
-
-// PutInt32s returns an index buffer to the pool; nil is a no-op.
-func PutInt32s(s []int32) {
-	if s == nil {
-		return
-	}
-	p := int32Pool.Get().(*[]int32)
-	*p = s[:0]
-	int32Pool.Put(p)
-}
+// Payloads that fan out to multiple ranks (e.g. Allgatherv chunk
+// Data/Aux, which are stored into every rank's result) must NOT be
+// pooled — several ranks hold references to the same backing array.
+// Chunk containers ([]Chunk) are single-consumer and are pooled via
+// GetChunks/PutChunks.
 
 // sendCopy copies x into a pooled buffer — the copy the wire needs
 // anyway, since the caller keeps mutating x — and returns it for
-// sending. The receiver releases it with PutFloats after use.
-func sendCopy(x []float64) []float64 {
-	buf := GetFloats(len(x))
+// sending. The receiver releases it with cm.PutFloats after use.
+func sendCopy(cm cluster.Endpoint, x []float64) []float64 {
+	buf := cm.GetFloats(len(x))
 	copy(buf, x)
 	return buf
 }

@@ -59,10 +59,12 @@ type OkTopk struct {
 
 // scratch holds per-instance buffers reused across Reduce calls. A
 // rank's Reduce calls are serial, so reuse is safe as long as nothing
-// here is ever handed to another rank or to the caller by reference:
-// wire payloads are copied into pooled buffers owned by the message
-// (released by the receiver), and returned Results only carry freshly
-// allocated slices.
+// here is ever handed to another rank by reference: wire payloads are
+// copied into buffers drawn from the rank's pool and owned by the
+// message (released into the receiver's pool), and payloads that fan
+// out through the allgatherv are freshly allocated each call. The
+// returned Result's Update/Contributed slices point into this scratch
+// and stay valid until the next Reduce on the same instance.
 type scratch struct {
 	localIdx  []int32
 	regionIdx [][]int32
@@ -86,6 +88,33 @@ type scratch struct {
 	gidxEnds   []int
 	thScratch  []float64
 	gatherBuf  []float64
+	// update is the dense result buffer handed back in Result.Update.
+	// It is kept logically all-zero between calls by re-zeroing exactly
+	// the indexes recorded in prevWritten (an O(k) scatter instead of an
+	// O(n) memset and a fresh allocation per iteration).
+	update      []float64
+	prevWritten []int32
+	contributed []int32
+	// Balance-phase scratch: the size allgather's int/float staging, the
+	// allgatherv result container, and the split-phase receive keys.
+	sizes      []int
+	sizeFloats []float64
+	chunks     []collectives.Chunk
+	keys       []cluster.RecvKey
+}
+
+// updateBuffer returns the instance update buffer, logically all-zero,
+// resizing it when the gradient dimension changes.
+func (o *OkTopk) updateBuffer(n int) []float64 {
+	s := &o.scratch
+	if len(s.update) != n {
+		s.update = make([]float64, n)
+		s.prevWritten = s.prevWritten[:0]
+	}
+	u := s.update
+	sparse.ZeroIndexes(u, s.prevWritten)
+	s.prevWritten = s.prevWritten[:0]
+	return u
 }
 
 // New returns a per-worker Ok-Topk instance. The config's zero values
@@ -154,13 +183,15 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 	localIdx := o.scratch.localIdx
 
 	if p == 1 {
-		update := make([]float64, n)
+		update := o.updateBuffer(n)
 		for _, idx := range localIdx {
 			update[idx] = acc[idx]
 		}
+		o.scratch.prevWritten = append(o.scratch.prevWritten, localIdx...)
+		o.scratch.contributed = append(o.scratch.contributed[:0], localIdx...)
 		o.lastVolume = 0
 		return allreduce.Result{Update: update,
-			Contributed: append([]int32(nil), localIdx...),
+			Contributed: o.scratch.contributed,
 			LocalK:      len(localIdx), GlobalK: len(localIdx)}
 	}
 
@@ -178,9 +209,10 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 	// from the allgathered reduced top-k values. (The chunk copy is
 	// required: allgathered payloads fan out to several ranks.)
 	if o.globalCtl.ShouldReevaluate(t) {
-		chunks := collectives.Allgatherv(cm, collectives.Chunk{Data: append([]float64(nil), reducedVal...)})
+		o.scratch.chunks = collectives.AllgathervInto(cm,
+			collectives.Chunk{Data: append([]float64(nil), reducedVal...)}, o.scratch.chunks)
 		all := o.scratch.gatherBuf[:0]
-		for _, ch := range chunks {
+		for _, ch := range o.scratch.chunks {
 			all = append(all, ch.Data...)
 		}
 		o.scratch.gatherBuf = all
@@ -198,7 +230,8 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 
 	// Line 14: indexes of local values that contributed to the global
 	// top-k result.
-	contributed := sparse.Intersect(localIdx, globalIdx)
+	contributed := sparse.AppendIntersect(o.scratch.contributed[:0], localIdx, globalIdx)
+	o.scratch.contributed = contributed
 	return allreduce.Result{
 		Update:      update,
 		Contributed: contributed,
@@ -251,7 +284,7 @@ func (o *OkTopk) repartition(cm cluster.Endpoint, n int, localIdx []int32) []int
 // dequantized values (quantization error is introduced exactly once, at
 // the source) and the wire accounting shrinks accordingly. The rng is
 // deterministic per (rank, iteration), keeping runs reproducible.
-func (o *OkTopk) wireChunk(rng *rand.Rand, idx []int32, val []float64) collectives.Chunk {
+func (o *OkTopk) wireChunk(cm cluster.Endpoint, rng *rand.Rand, idx []int32, val []float64) collectives.Chunk {
 	ch := collectives.Chunk{Data: val, Aux: idx}
 	if o.cfg.QuantBits > 0 && len(val) > 0 {
 		q := quant.Quantize(rng, val, o.cfg.QuantBits)
@@ -259,7 +292,7 @@ func (o *OkTopk) wireChunk(rng *rand.Rand, idx []int32, val []float64) collectiv
 		ch.WordsOverride = q.Words() + len(idx)
 		// The chunk now carries the dequantized copy; val has no other
 		// referent at any call site, so recycle it.
-		collectives.PutFloats(val)
+		cm.PutFloats(val)
 	}
 	return ch
 }
@@ -308,14 +341,15 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		regionVal[j] = append(regionVal[j], acc[idx])
 	}
 
-	// wire copies region dst into pooled buffers owned by the outgoing
-	// message; the receiver releases them after accumulating.
+	// wire copies region dst into buffers drawn from this rank's pool,
+	// owned by the outgoing message; the receiver releases them into its
+	// own pool after accumulating (ownership transfer).
 	wire := func(dst int) collectives.Chunk {
-		idx := collectives.GetInt32s(len(regionIdx[dst]))
+		idx := cm.GetInt32s(len(regionIdx[dst]))
 		copy(idx, regionIdx[dst])
-		val := collectives.GetFloats(len(regionVal[dst]))
+		val := cm.GetFloats(len(regionVal[dst]))
 		copy(val, regionVal[dst])
-		return o.wireChunk(qrng, idx, val)
+		return o.wireChunk(cm, qrng, idx, val)
 	}
 
 	// Reduction buffer for my region (scratch, all-zero on entry), plus
@@ -340,17 +374,25 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		runEnds = append(runEnds, len(touched))
 		cm.Clock().Compute(float64(len(idxs)))
 	}
-	receive := func(src, tag int) {
-		ch := cm.Recv(src, tag).(collectives.Chunk)
-		accumulate(ch.Aux, ch.Data)
-		collectives.PutInt32s(ch.Aux)
-		collectives.PutFloats(ch.Data)
+	// receiveEach drains one region message per key in key order (the
+	// deterministic accumulation order), harvesting queued messages in
+	// batches under a single mailbox lock hold, and releases each
+	// message's buffers into this rank's pool.
+	receiveEach := func(keys []cluster.RecvKey) {
+		cm.RecvChunkEach(keys, func(i int, ch collectives.Chunk) {
+			accumulate(ch.Aux, ch.Data)
+			cm.PutInt32s(ch.Aux)
+			cm.PutFloats(ch.Data)
+		})
 	}
 	accumulate(regionIdx[rank], regionVal[rank])
 
 	bucket := o.cfg.BucketSize
 	if bucket < 1 {
 		bucket = 1
+	}
+	if cap(o.scratch.keys) < p {
+		o.scratch.keys = make([]cluster.RecvKey, p)
 	}
 	if o.cfg.Rotation {
 		// Rotated schedule: at step s, rank sends to rank+s and receives
@@ -365,26 +407,30 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 			for s := base; s < end; s++ {
 				dst := (rank + s) % p
 				ch := wire(dst)
-				cm.Send(dst, tagSplit+s, ch, ch.Words())
+				cm.SendChunk(dst, tagSplit+s, ch, ch.Words())
 			}
+			keys := o.scratch.keys[:0]
 			for s := base; s < end; s++ {
-				receive((rank-s+p)%p, tagSplit+s)
+				keys = append(keys, cluster.RecvKey{Src: (rank - s + p) % p, Tag: tagSplit + s})
 			}
+			receiveEach(keys)
 		}
 	} else {
 		// Naive schedule (Figure 2a): all workers target worker s at
 		// step s, concentrating P−1 concurrent arrivals on one endpoint.
 		for s := 0; s < p; s++ {
 			if s == rank {
+				keys := o.scratch.keys[:0]
 				for src := 0; src < p; src++ {
 					if src == rank {
 						continue
 					}
-					receive(src, tagSplit+s)
+					keys = append(keys, cluster.RecvKey{Src: src, Tag: tagSplit + s})
 				}
+				receiveEach(keys)
 			} else {
 				ch := wire(s)
-				cm.Send(s, tagSplit+s, ch, ch.Words())
+				cm.SendChunk(s, tagSplit+s, ch, ch.Words())
 			}
 		}
 	}
@@ -412,10 +458,19 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []int32, reducedVal []float64, globalTh float64, t int) ([]float64, []int32) {
 	p, rank := cm.Size(), cm.Rank()
 
-	// ① Global top-k selection within my region (local scan).
+	// ① Global top-k selection within my region (local scan). The
+	// selection is copied into exactly-sized fresh slices: its backing
+	// arrays fan out to every rank through the allgatherv below, so they
+	// must not alias instance scratch or pooled buffers.
 	allreduce.ChargeScan(cm, o.cfg, len(reducedVal))
-	var selIdx []int32
-	var selVal []float64
+	sel := 0
+	for _, v := range reducedVal {
+		if v >= globalTh || -v >= globalTh {
+			sel++
+		}
+	}
+	selIdx := make([]int32, 0, sel)
+	selVal := make([]float64, 0, sel)
 	for i, v := range reducedVal {
 		if v >= globalTh || -v >= globalTh {
 			selIdx = append(selIdx, reducedIdx[i])
@@ -427,7 +482,10 @@ func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []i
 	defer cm.Clock().SetPhase(netmodel.PhaseCompute)
 
 	// ② Package sizes: an allgather of one size per rank ((logP)α only).
-	sizes := collectives.AllgatherSizes(cm, len(selIdx))
+	var sizes []int
+	sizes, o.scratch.sizeFloats = collectives.AllgatherSizesInto(cm, len(selIdx),
+		o.scratch.sizes, o.scratch.sizeFloats)
+	o.scratch.sizes = sizes
 	total := 0
 	maxSize := 0
 	for _, s := range sizes {
@@ -453,11 +511,11 @@ func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []i
 	if o.cfg.QuantBits > 0 {
 		qrng = quantRNG(rank, t+1<<20)
 	}
-	chunks := collectives.Allgatherv(cm, o.wireChunk(qrng, selIdx, selVal))
-	update := make([]float64, n)
+	o.scratch.chunks = collectives.AllgathervInto(cm, o.wireChunk(cm, qrng, selIdx, selVal), o.scratch.chunks)
+	update := o.updateBuffer(n)
 	globalIdx := o.scratch.gidx[:0]
 	gidxEnds := o.scratch.gidxEnds[:0]
-	for _, ch := range chunks {
+	for _, ch := range o.scratch.chunks {
 		for i, idx := range ch.Aux {
 			update[idx] = ch.Data[i]
 		}
@@ -467,6 +525,7 @@ func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []i
 	globalIdx, o.scratch.mergeSpare = sparse.MergeRuns(globalIdx, gidxEnds, o.scratch.mergeSpare)
 	o.scratch.gidx = globalIdx
 	o.scratch.gidxEnds = gidxEnds[:0]
+	o.scratch.prevWritten = append(o.scratch.prevWritten, globalIdx...)
 	cm.Clock().Compute(float64(len(globalIdx)))
 	return update, globalIdx
 }
@@ -506,7 +565,7 @@ func rebalance(cm cluster.Endpoint, sizes []int, idx []int32, val []float64) ([]
 			newVal = append(newVal, val[a:b]...)
 			continue
 		}
-		cm.Send(r, tagBalance, collectives.Chunk{Data: val[a:b], Aux: idx[a:b]}, 2*(b-a))
+		cm.SendChunk(r, tagBalance, collectives.Chunk{Data: val[a:b], Aux: idx[a:b]}, 2*(b-a))
 	}
 	// Receive pieces of my target span from their current owners.
 	tLo, tHi := target(rank)
@@ -518,7 +577,7 @@ func rebalance(cm cluster.Endpoint, sizes []int, idx []int32, val []float64) ([]
 		if oLo >= oHi {
 			continue
 		}
-		ch := cm.Recv(r, tagBalance).(collectives.Chunk)
+		ch := cm.RecvChunk(r, tagBalance)
 		if len(ch.Aux) != oHi-oLo {
 			panic(fmt.Sprintf("core: rebalance plan mismatch: got %d want %d", len(ch.Aux), oHi-oLo))
 		}

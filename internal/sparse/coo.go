@@ -96,6 +96,41 @@ func FromDenseThreshold(d []float64, th float64) *Vec {
 	return v
 }
 
+// ZeroIndexes restores buf's all-zero invariant given the indexes
+// written into it since the last zeroing (duplicates are fine): an
+// O(written) scatter when the write set is sparse, falling back to a
+// sequential clear once it exceeds 1/8 of the buffer — beyond that the
+// random scatter's cache misses cost more than the memset.
+func ZeroIndexes(buf []float64, written []int32) {
+	if len(written)*8 >= len(buf) {
+		clear(buf)
+		return
+	}
+	for _, idx := range written {
+		buf[idx] = 0
+	}
+}
+
+// FromDenseThresholdInto is FromDenseThreshold building into dst's
+// reused backing arrays (dst may be nil on first use) — the steady-state
+// form the per-iteration local selections of the sparse collectives use.
+// It returns dst.
+func FromDenseThresholdInto(dst *Vec, d []float64, th float64) *Vec {
+	if dst == nil {
+		dst = New(len(d))
+	}
+	dst.Dim = len(d)
+	dst.Indexes = dst.Indexes[:0]
+	dst.Values = dst.Values[:0]
+	for i, x := range d {
+		if (x >= th || -x >= th) && x != 0 {
+			dst.Indexes = append(dst.Indexes, int32(i))
+			dst.Values = append(dst.Values, x)
+		}
+	}
+	return dst
+}
+
 // FromPairs builds a sparse vector from possibly unsorted (index, value)
 // pairs, sorting and summing duplicates.
 func FromPairs(dim int, indexes []int32, values []float64) *Vec {
@@ -267,7 +302,14 @@ func (v *Vec) Slice(lo, hi int32) *Vec {
 // uses this to find which local top-k values contributed to the global
 // top-k result (Algorithm 1 line 14).
 func Intersect(a, b []int32) []int32 {
-	var out []int32
+	return AppendIntersect(nil, a, b)
+}
+
+// AppendIntersect is Intersect appending into dst (typically a reused
+// scratch slice sliced to length zero), so steady-state callers avoid
+// reallocating the intersection buffer every iteration.
+func AppendIntersect(dst []int32, a, b []int32) []int32 {
+	out := dst
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -19,6 +19,14 @@
 //
 // Every implementation follows the allreduce.Algorithm contract and
 // accounts its traffic and selection work under the α-β cost model.
+//
+// All point-to-point payloads (TopkDSA's halving pieces, gTopk's tree
+// and broadcast hops) are sparse.Vec values drawn from per-rank pools
+// under the ownership-transfer convention: the sender fills a vector
+// from its own pool, the receiver merges it and returns it to its own
+// pool. Fan-out payloads (allgathered chunks) stay freshly allocated.
+// Result.Update and Result.Contributed are instance-owned scratch,
+// valid until the next Reduce on the same instance.
 package sparsecoll
 
 import (
@@ -38,70 +46,107 @@ import (
 // cooWords is the COO wire size of k nonzeros (k values + k indexes).
 func cooWords(nnz int) int { return 2 * nnz }
 
-// slicePooled is Vec.Slice with the copy drawn from the wire-buffer
-// pool. It backs the point-to-point payloads of TopkDSA's recursive
-// halving, where every message has exactly one consumer: the receiver
-// merges it and releases the buffers with releaseVec. Payloads that fan
-// out to several ranks (allgathered chunks, gTopk's broadcast tree) must
-// keep using plain allocations.
-func slicePooled(v *sparse.Vec, lo, hi int32) *sparse.Vec {
+// slicePooled copies the [lo, hi) index range of v into a vector drawn
+// from the pool. It backs the point-to-point payloads of TopkDSA's
+// recursive halving, where every message has exactly one consumer: the
+// receiver merges it and returns it to its own pool.
+func slicePooled(pool *sparse.Pool, v *sparse.Vec, lo, hi int32) *sparse.Vec {
 	start := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= lo })
 	end := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= hi })
-	n := end - start
-	out := &sparse.Vec{
-		Dim:     v.Dim,
-		Indexes: collectives.GetInt32s(n),
-		Values:  collectives.GetFloats(n),
-	}
+	out := pool.Get(v.Dim, end-start)
 	copy(out.Indexes, v.Indexes[start:end])
 	copy(out.Values, v.Values[start:end])
 	return out
 }
 
-// releaseVec returns a pooled vector's buffers to the wire-buffer pool.
-func releaseVec(v *sparse.Vec) {
-	collectives.PutInt32s(v.Indexes)
-	collectives.PutFloats(v.Values)
-	v.Indexes, v.Values = nil, nil
+// pooledCopy fills a pool vector with a full copy of v — the payload
+// fill of every ownership-transfer send in gTopk's trees.
+func pooledCopy(pool *sparse.Pool, v *sparse.Vec) *sparse.Vec {
+	out := pool.Get(v.Dim, v.NNZ())
+	copy(out.Indexes, v.Indexes)
+	copy(out.Values, v.Values)
+	return out
 }
 
-// localTopk selects the exact top-k entries of acc (by |value|) the way
-// the baselines do with torch.topk, charging the sort-based cost, and
-// returns them as a sparse vector. scratch backs the selection's |x|
-// copy and is returned (possibly grown) for the caller to retain
-// across iterations.
-func localTopk(cm cluster.Endpoint, cfg allreduce.Config, acc []float64, k int, scratch []float64) (*sparse.Vec, []float64) {
+// localTopkInto selects the exact top-k entries of acc (by |value|) the
+// way the baselines do with torch.topk, charging the sort-based cost,
+// building the selection into the instance-owned dst (allocated on
+// first use). scratch backs the selection's |x| copy; both are returned
+// for the caller to retain across iterations.
+func localTopkInto(cm cluster.Endpoint, cfg allreduce.Config, acc []float64, k int, scratch []float64, dst *sparse.Vec) (*sparse.Vec, []float64) {
 	allreduce.ChargeSort(cm, cfg, len(acc))
 	th, scratch := topk.ThresholdInto(acc, k, scratch)
-	return sparse.FromDenseThreshold(acc, th), scratch
+	return sparse.FromDenseThresholdInto(dst, acc, th), scratch
 }
 
-// gatherAndSum allgathers everyone's COO chunk and reduces locally; the
-// shared backend of TopkA and Gaussiank.
-func gatherAndSum(cm cluster.Endpoint, mine *sparse.Vec, n int) (update []float64, globalNNZ int) {
-	cm.Clock().SetPhase(netmodel.PhaseComm)
-	chunks := collectives.Allgatherv(cm, collectives.Chunk{Data: mine.Values, Aux: mine.Indexes})
-	update = make([]float64, n)
-	total := 0
+// gatherState is the per-instance scratch behind the shared
+// allgather-and-sum backend: the dense update buffer is kept logically
+// all-zero between calls by re-zeroing exactly the indexes the previous
+// call wrote (far cheaper than an n-word memset per iteration, and
+// allocation-free).
+type gatherState struct {
+	update  []float64
+	touched []int32             // indexes written by the last call
+	chunks  []collectives.Chunk // AllgathervInto result scratch
+}
+
+// sumChunks folds the gathered chunks into the logically all-zero
+// update buffer, recording every written index so the next call can
+// re-zero exactly those. All maintenance of the touched-index invariant
+// lives here; callers must not write the buffer through other paths.
+func (gs *gatherState) sumChunks(n int) (update []float64, globalNNZ int) {
+	if len(gs.update) != n {
+		gs.update = make([]float64, n)
+		gs.touched = gs.touched[:0]
+	}
+	update = gs.update
+	sparse.ZeroIndexes(update, gs.touched)
+	gs.touched = gs.touched[:0]
 	nz := 0
-	for _, ch := range chunks {
-		total += len(ch.Data)
+	for _, ch := range gs.chunks {
 		for i, idx := range ch.Aux {
 			if update[idx] == 0 && ch.Data[i] != 0 {
 				nz++
 			}
 			update[idx] += ch.Data[i]
 		}
+		gs.touched = append(gs.touched, ch.Aux...)
 	}
+	return update, nz
+}
+
+// gatherAndSum allgathers everyone's COO chunk and reduces into the
+// instance-owned update buffer. The chunk's Data/Aux fan out to every
+// rank and must be freshly allocated by the caller.
+func (gs *gatherState) gatherAndSum(cm cluster.Endpoint, mine collectives.Chunk, n int) (update []float64, globalNNZ int) {
+	cm.Clock().SetPhase(netmodel.PhaseComm)
+	gs.chunks = collectives.AllgathervInto(cm, mine, gs.chunks)
+	total := 0
+	for _, ch := range gs.chunks {
+		total += len(ch.Data)
+	}
+	update, nz := gs.sumChunks(n)
 	cm.Clock().Compute(float64(total)) // local reduction of gathered chunks
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 	return update, nz
+}
+
+// freshChunk copies the selection into exactly-sized fresh slices for
+// the wire: allgathered payloads are shared read-only by every rank, so
+// they must not alias instance scratch or pools.
+func freshChunk(sel *sparse.Vec) collectives.Chunk {
+	return collectives.Chunk{
+		Data: append([]float64(nil), sel.Values...),
+		Aux:  append([]int32(nil), sel.Indexes...),
+	}
 }
 
 // TopkA is the allgather-based sparse allreduce [36, 47].
 type TopkA struct {
 	cfg       allreduce.Config
 	thScratch []float64
+	sel       *sparse.Vec
+	gs        gatherState
 }
 
 // NewTopkA returns a TopkA instance for one worker.
@@ -113,13 +158,13 @@ func (*TopkA) OverlapsBackward() bool { return false }
 // Reduce gathers all workers' exact top-k chunks and sums them locally.
 func (a *TopkA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Result {
 	k := a.cfg.KFor(len(acc))
-	var mine *sparse.Vec
-	mine, a.thScratch = localTopk(cm, a.cfg, acc, k, a.thScratch)
-	update, nz := gatherAndSum(cm, mine, len(acc))
+	a.sel, a.thScratch = localTopkInto(cm, a.cfg, acc, k, a.thScratch, a.sel)
+	mine := freshChunk(a.sel)
+	update, nz := a.gs.gatherAndSum(cm, mine, len(acc))
 	return allreduce.Result{
 		Update:      update,
-		Contributed: mine.Indexes,
-		LocalK:      mine.NNZ(),
+		Contributed: mine.Aux,
+		LocalK:      a.sel.NNZ(),
 		GlobalK:     nz,
 	}
 }
@@ -131,6 +176,9 @@ type Gaussiank struct {
 	// Estimated selects whether the raw Gaussian estimate is used
 	// (paper's Figure 6 accounting) or the adjusted one (§5.4 fairness).
 	Adjust bool
+
+	sel *sparse.Vec
+	gs  gatherState
 }
 
 // NewGaussiank returns a Gaussiank instance with the paper's fairness
@@ -160,12 +208,13 @@ func (g *Gaussiank) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.
 		allreduce.ChargeScan(cm, g.cfg, passes*len(acc))
 		th = adjTh
 	}
-	mine := sparse.FromDenseThreshold(acc, th)
-	update, nz := gatherAndSum(cm, mine, len(acc))
+	g.sel = sparse.FromDenseThresholdInto(g.sel, acc, th)
+	mine := freshChunk(g.sel)
+	update, nz := g.gs.gatherAndSum(cm, mine, len(acc))
 	return allreduce.Result{
 		Update:      update,
-		Contributed: mine.Indexes,
-		LocalK:      mine.NNZ(),
+		Contributed: mine.Aux,
+		LocalK:      g.sel.NNZ(),
 		GlobalK:     nz,
 	}
 }
@@ -182,11 +231,17 @@ type TopkDSA struct {
 	fillSum   float64
 	fillCount int
 	thScratch []float64
+	sel       *sparse.Vec
+	// pool is this rank's halving-payload arena: outgoing pieces are
+	// drawn from it and received pieces are returned to it after the
+	// merge (ownership transfer).
+	pool sparse.Pool
 	// mergeA/mergeB ping-pong the recursive-halving partial sums, so
 	// the intermediate merges allocate nothing in steady state. Only
 	// the final level's result (whose buffers fan out through the
 	// allgatherv) is freshly allocated.
 	mergeA, mergeB *sparse.Vec
+	gs             gatherState
 }
 
 // NewTopkDSA returns a TopkDSA instance for one worker.
@@ -194,6 +249,10 @@ func NewTopkDSA(cfg allreduce.Config) *TopkDSA { return &TopkDSA{cfg: cfg.Defaul
 
 func (*TopkDSA) Name() string           { return "TopkDSA" }
 func (*TopkDSA) OverlapsBackward() bool { return false }
+
+// Pool exposes the halving-payload pool for the ownership property
+// tests.
+func (d *TopkDSA) Pool() *sparse.Pool { return &d.pool }
 
 // MeanFillDensity reports the mean output density across all reductions
 // performed so far (§5.2 reports 13.2% for VGG, 34.5% for LSTM).
@@ -211,13 +270,14 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 	p, rank, n := cm.Size(), cm.Rank(), len(acc)
 	k := d.cfg.KFor(n)
 	var mine *sparse.Vec
-	mine, d.thScratch = localTopk(cm, d.cfg, acc, k, d.thScratch)
+	mine, d.thScratch = localTopkInto(cm, d.cfg, acc, k, d.thScratch, d.sel)
+	d.sel = mine
 	localIdx := mine.Indexes
 
 	if p&(p-1) != 0 {
 		// Non-power-of-two: degrade to the allgather schedule, as
 		// SparCML's fallback does.
-		update, nz := gatherAndSum(cm, mine, n)
+		update, nz := d.gs.gatherAndSum(cm, freshChunk(mine), n)
 		d.fillSum += float64(nz) / float64(n)
 		d.fillCount++
 		return allreduce.Result{Update: update, Contributed: localIdx, LocalK: mine.NNZ(), GlobalK: nz}
@@ -238,7 +298,7 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		out := slicePooled(cur, int32(sendLo), int32(sendHi))
+		out := slicePooled(&d.pool, cur, int32(sendLo), int32(sendHi))
 		// Dynamic format switch: ship whichever representation is
 		// smaller for this piece — COO (2·nnz) or dense (width).
 		words := cooWords(out.NNZ())
@@ -247,7 +307,7 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		}
 		cm.Send(partner, tagDSA+s, out, words)
 		in := cm.Recv(partner, tagDSA+s).(*sparse.Vec)
-		kept := slicePooled(cur, int32(keepLo), int32(keepHi))
+		kept := slicePooled(&d.pool, cur, int32(keepLo), int32(keepHi))
 		cm.Clock().Compute(float64(kept.NNZ() + in.NNZ()))
 		if dist > 1 {
 			// Intermediate level: merge into ping-pong scratch (the
@@ -263,25 +323,18 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 			// every rank, so they must be freshly allocated.
 			cur = sparse.Add(kept, in)
 		}
-		releaseVec(kept)
-		releaseVec(in)
+		d.pool.Put(kept)
+		d.pool.Put(in)
 		lo, hi = keepLo, keepHi
 	}
 
 	// Allgatherv of the owned reduced pieces (COO accounting; a dense
 	// fallback would only matter past ~50% piece density, which the
 	// recursive-halving phase already handled).
-	chunks := collectives.Allgatherv(cm, collectives.Chunk{Data: cur.Values, Aux: cur.Indexes})
-	update := make([]float64, n)
-	nz := 0
-	for _, ch := range chunks {
-		for i, idx := range ch.Aux {
-			if update[idx] == 0 && ch.Data[i] != 0 {
-				nz++
-			}
-			update[idx] += ch.Data[i]
-		}
-	}
+	gs := &d.gs
+	gs.chunks = collectives.AllgathervInto(cm,
+		collectives.Chunk{Data: cur.Values, Aux: cur.Indexes}, gs.chunks)
+	update, nz := gs.sumChunks(n)
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 	d.fillSum += float64(nz) / float64(n)
 	d.fillCount++
@@ -303,6 +356,18 @@ type GTopk struct {
 	cfg       allreduce.Config
 	thScratch []float64
 	pairs     []idxVal
+	// pool is this rank's tree-payload arena: every hop of the reduction
+	// and broadcast trees carries a pool vector owned by exactly one
+	// receiver.
+	pool sparse.Pool
+	sel  *sparse.Vec // local selection scratch
+	// mergeA/mergeB ping-pong the tree partial sums; trunc receives the
+	// re-selected top-k at each level.
+	mergeA, mergeB *sparse.Vec
+	trunc          *sparse.Vec
+	update         []float64
+	touched        []int32 // update indexes written last iteration
+	contributed    []int32 // Intersect scratch
 }
 
 // idxVal is the (index, value) pair truncTopk sorts during
@@ -318,6 +383,9 @@ func NewGTopk(cfg allreduce.Config) *GTopk { return &GTopk{cfg: cfg.Defaults()} 
 func (*GTopk) Name() string           { return "gTopk" }
 func (*GTopk) OverlapsBackward() bool { return false }
 
+// Pool exposes the tree-payload pool for the ownership property tests.
+func (g *GTopk) Pool() *sparse.Pool { return &g.pool }
+
 const tagGTopk = 10 << 20
 
 // Reduce runs the reduction tree plus broadcast tree.
@@ -325,22 +393,29 @@ func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Resu
 	p, rank, n := cm.Size(), cm.Rank(), len(acc)
 	k := g.cfg.KFor(n)
 	var mine *sparse.Vec
-	mine, g.thScratch = localTopk(cm, g.cfg, acc, k, g.thScratch)
+	mine, g.thScratch = localTopkInto(cm, g.cfg, acc, k, g.thScratch, g.sel)
+	g.sel = mine
 	localIdx := mine.Indexes
+	if g.mergeA == nil {
+		g.mergeA, g.mergeB = sparse.New(n), sparse.New(n)
+		g.trunc = sparse.New(n)
+	}
 
 	cm.Clock().SetPhase(netmodel.PhaseComm)
 	cur := mine
 	sent := false
 	for dist := 1; dist < p; dist *= 2 {
 		if rank&dist != 0 {
-			cm.Send(rank&^dist, tagGTopk+dist, cur, cooWords(cur.NNZ()))
+			cm.Send(rank&^dist, tagGTopk+dist, pooledCopy(&g.pool, cur), cooWords(cur.NNZ()))
 			sent = true
 			break
 		}
 		if rank|dist < p {
 			in := cm.Recv(rank|dist, tagGTopk+dist).(*sparse.Vec)
 			cm.Clock().Compute(float64(cur.NNZ() + in.NNZ()))
-			merged := sparse.Add(cur, in)
+			merged := sparse.AddTo(g.mergeA, cur, in)
+			g.mergeA, g.mergeB = g.mergeB, g.mergeA
+			g.pool.Put(in)
 			// Hierarchical re-selection keeps the set at k values. The
 			// reference implementation scatters into a dense buffer and
 			// runs torch.topk over all n elements at every level, so the
@@ -351,21 +426,39 @@ func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Resu
 			cur = g.truncTopk(merged, k)
 		}
 	}
-	// Broadcast the final global top-k down the mirrored tree.
+	// Broadcast the final global top-k down the mirrored tree. Every hop
+	// carries an owned pool copy, so no backing array is ever shared
+	// between ranks.
 	if sent {
 		cur = cm.Recv(parentOf(rank, p), tagGTopk+(1<<20)).(*sparse.Vec)
 	}
 	for _, child := range childrenOf(rank, p) {
-		cm.Send(child, tagGTopk+(1<<20), cur, cooWords(cur.NNZ()))
+		cm.Send(child, tagGTopk+(1<<20), pooledCopy(&g.pool, cur), cooWords(cur.NNZ()))
 	}
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 
-	update := cur.Dense()
+	// Scatter the final top-k into the instance update buffer, zeroing
+	// exactly what the previous iteration wrote.
+	if len(g.update) != n {
+		g.update = make([]float64, n)
+		g.touched = g.touched[:0]
+	}
+	update := g.update
+	sparse.ZeroIndexes(update, g.touched)
+	g.touched = append(g.touched[:0], cur.Indexes...)
+	for i, idx := range cur.Indexes {
+		update[idx] = cur.Values[i]
+	}
+	g.contributed = sparse.AppendIntersect(g.contributed[:0], localIdx, cur.Indexes)
+	globalK := cur.NNZ()
+	if sent {
+		g.pool.Put(cur) // received broadcast hop: consumed, return to my pool
+	}
 	return allreduce.Result{
 		Update:      update,
-		Contributed: sparse.Intersect(localIdx, cur.Indexes),
+		Contributed: g.contributed,
 		LocalK:      len(localIdx),
-		GlobalK:     cur.NNZ(),
+		GlobalK:     globalK,
 	}
 }
 
@@ -398,14 +491,22 @@ func childrenOf(rank, p int) []int {
 
 // truncTopk keeps the k largest-magnitude entries of v (ties broken by
 // keeping all at the threshold, then trimming to exactly k by index
-// order). The selection scratch and pair buffer are per-instance.
+// order). The result is v itself (when already within k) or the
+// instance's trunc scratch; the selection scratch and pair buffer are
+// per-instance too, so re-selection allocates nothing in steady state.
 func (g *GTopk) truncTopk(v *sparse.Vec, k int) *sparse.Vec {
 	if v.NNZ() <= k {
 		return v
 	}
 	var th float64
 	th, g.thScratch = topk.ThresholdInto(v.Values, k, g.thScratch)
-	out := sparse.New(v.Dim)
+	if g.trunc == nil {
+		g.trunc = sparse.New(v.Dim)
+	}
+	out := g.trunc
+	out.Dim = v.Dim
+	out.Indexes = out.Indexes[:0]
+	out.Values = out.Values[:0]
 	for i, val := range v.Values {
 		if math.Abs(val) >= th {
 			out.Indexes = append(out.Indexes, v.Indexes[i])
@@ -428,7 +529,8 @@ func (g *GTopk) truncTopk(v *sparse.Vec, k int) *sparse.Vec {
 		})
 		ps = ps[:k]
 		slices.SortFunc(ps, func(a, b idxVal) int { return cmp.Compare(a.idx, b.idx) })
-		out = sparse.New(v.Dim)
+		out.Indexes = out.Indexes[:0]
+		out.Values = out.Values[:0]
 		for _, p := range ps {
 			out.Indexes = append(out.Indexes, p.idx)
 			out.Values = append(out.Values, p.val)

@@ -207,6 +207,16 @@ func ScaleAdd(dst []float64, a float64, x, y []float64) {
 	}
 }
 
+// Ensure returns a length-n vector reusing x's backing array when the
+// capacity suffices (contents unspecified — callers overwrite the full
+// length); the scratch-reuse counterpart of Copy. A nil x allocates.
+func Ensure(x []float64, n int) []float64 {
+	if cap(x) < n {
+		return make([]float64, n)
+	}
+	return x[:n]
+}
+
 // EnsureMat resizes m to rows×cols, reusing its backing array when the
 // capacity suffices, and zeroes the contents — the steady-state
 // replacement for NewMat in per-step layer scratch. A nil m allocates.
