@@ -24,7 +24,7 @@ import (
 // steadyStateAllocs measures allocations per cluster-wide Reduce after
 // warm-up. Thresholds and boundaries use a huge re-evaluation period so
 // the measurement never crosses an amortized maintenance iteration.
-func steadyStateAllocs(t *testing.T, name string, p, n, k int) float64 {
+func steadyStateAllocs(t *testing.T, name string, wire cluster.Wire, p, n, k int) float64 {
 	t.Helper()
 	cfg := allreduce.Config{K: k, TauPrime: 1 << 20, Tau: 1 << 20}
 	grads := experiments.SyntheticGradients(77, p, n, k, 0.3)
@@ -32,7 +32,7 @@ func steadyStateAllocs(t *testing.T, name string, p, n, k int) float64 {
 	for i := range algos {
 		algos[i] = train.NewAlgorithm(name, cfg)
 	}
-	c := cluster.New(p, netmodel.PizDaint())
+	c := cluster.NewWire(p, netmodel.PizDaint(), wire)
 	it := 0
 	step := func() {
 		it++
@@ -52,30 +52,35 @@ func steadyStateAllocs(t *testing.T, name string, p, n, k int) float64 {
 }
 
 // TestSteadyStateAllocBudget enforces the per-iteration allocation
-// ceilings at the Table 1 benchmark shape (n=100k, k=1k, P=32).
+// ceilings at the Table 1 benchmark shape (n=100k, k=1k, P=32). Both
+// wire modes are held to the same budgets: the f32 wire swaps buffer
+// pools, it must not reintroduce per-message allocation.
 func TestSteadyStateAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation measurement is not meaningful under -short race mixes")
 	}
-	for _, tc := range []struct {
-		algo   string
-		budget float64
-	}{
-		// Acceptance floor for this repo is <1,100 for OkTopk (a ≥5×
-		// drop from the 5,634 recorded before pooling); measured steady
-		// state is ≈380 including the 32 goroutine spawns per Run.
-		{"OkTopk", 900},
-		{"gTopk", 400},
-		{"Dense", 300},
-	} {
-		tc := tc
-		t.Run(fmt.Sprintf("%s/P=32", tc.algo), func(t *testing.T) {
-			got := steadyStateAllocs(t, tc.algo, 32, 100000, 1000)
-			t.Logf("%s steady-state allocs per cluster-wide reduce: %.0f", tc.algo, got)
-			if got > tc.budget {
-				t.Fatalf("%s allocates %.0f per steady-state reduce, budget %.0f",
-					tc.algo, got, tc.budget)
-			}
-		})
+	for _, wire := range testWireModes(t) {
+		for _, tc := range []struct {
+			algo   string
+			budget float64
+		}{
+			// Acceptance floor for this repo is <1,100 for OkTopk (a ≥5×
+			// drop from the 5,634 recorded before pooling); measured steady
+			// state is ≈380 including the 32 goroutine spawns per Run.
+			{"OkTopk", 900},
+			{"gTopk", 400},
+			{"Dense", 300},
+		} {
+			wire, tc := wire, tc
+			t.Run(fmt.Sprintf("%s/P=32/wire=%s", tc.algo, wire), func(t *testing.T) {
+				got := steadyStateAllocs(t, tc.algo, wire, 32, 100000, 1000)
+				t.Logf("%s steady-state allocs per cluster-wide reduce (%s wire): %.0f",
+					tc.algo, wire, got)
+				if got > tc.budget {
+					t.Fatalf("%s allocates %.0f per steady-state reduce on the %s wire, budget %.0f",
+						tc.algo, got, wire, tc.budget)
+				}
+			})
+		}
 	}
 }

@@ -26,14 +26,14 @@ import (
 )
 
 // benchReduce runs one collective reduction per op and reports modeled
-// time and per-rank traffic.
-func benchReduce(b *testing.B, name string, p, n, k int, params netmodel.Params, cfg allreduce.Config) {
+// time and per-rank traffic under the given wire mode.
+func benchReduce(b *testing.B, name string, wire cluster.Wire, p, n, k int, params netmodel.Params, cfg allreduce.Config) {
 	grads := experiments.SyntheticGradients(77, p, n, k, 0.3)
 	algos := make([]allreduce.Algorithm, p)
 	for i := range algos {
 		algos[i] = train.NewAlgorithm(name, cfg)
 	}
-	c := cluster.New(p, params)
+	c := cluster.NewWire(p, params, wire)
 	// Warm-up iteration evaluates thresholds/boundaries.
 	if err := c.Run(func(cm *cluster.Comm) error {
 		algos[cm.Rank()].Reduce(cm, grads[cm.Rank()], 1)
@@ -68,7 +68,11 @@ func BenchmarkReduce(b *testing.B) {
 	for _, p := range []int{8, 32} {
 		for _, algo := range train.AlgorithmNames {
 			b.Run(fmt.Sprintf("%s/P=%d", algo, p), func(b *testing.B) {
-				benchReduce(b, algo, p, n, k, netmodel.PizDaint(),
+				benchReduce(b, algo, cluster.WireF64, p, n, k, netmodel.PizDaint(),
+					allreduce.Config{K: k, TauPrime: 64, Tau: 64})
+			})
+			b.Run(fmt.Sprintf("%s/P=%d/wire=f32", algo, p), func(b *testing.B) {
+				benchReduce(b, algo, cluster.WireF32, p, n, k, netmodel.PizDaint(),
 					allreduce.Config{K: k, TauPrime: 64, Tau: 64})
 			})
 		}
@@ -83,7 +87,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, p := range []int{8, 16, 32} {
 		for _, algo := range train.AlgorithmNames {
 			b.Run(fmt.Sprintf("%s/P=%d", algo, p), func(b *testing.B) {
-				benchReduce(b, algo, p, n, k, netmodel.PizDaint(),
+				benchReduce(b, algo, cluster.WireF64, p, n, k, netmodel.PizDaint(),
 					allreduce.Config{K: k, TauPrime: 64, Tau: 64})
 			})
 		}
@@ -434,7 +438,7 @@ func BenchmarkGaussianEstimate(b *testing.B) {
 func BenchmarkDenseAllreduce(b *testing.B) {
 	for _, p := range []int{8, 32} {
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
-			benchReduce(b, "Dense", p, 100000, 1000, netmodel.PizDaint(), allreduce.Config{})
+			benchReduce(b, "Dense", cluster.WireF64, p, 100000, 1000, netmodel.PizDaint(), allreduce.Config{})
 		})
 	}
 }

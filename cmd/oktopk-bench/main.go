@@ -12,6 +12,9 @@
 // configuration is deterministically seeded and owns its simulated
 // cluster, so the output is byte-identical at any -parallel setting.
 // -out writes the aggregated metrics as results.csv and results.md.
+// -wire {f64,f32} selects the collective wire format: running the same
+// experiment in both modes yields the paired fidelity rows recorded in
+// EXPERIMENTS.md (the paper's systems ship float32 gradients).
 //
 // The default scale finishes in minutes on a laptop; -full uses the
 // paper's cluster sizes and longer runs.
@@ -25,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/tensor"
 )
@@ -37,6 +41,8 @@ var (
 		"directory to write aggregated results.csv and results.md into")
 	workers = flag.Int("workers", 0,
 		"tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
+	wire = flag.String("wire", "f64",
+		"collective wire format: f64 (seed behavior) or f32 (float32 values, half-word accounting)")
 )
 
 func scale() experiments.Scale {
@@ -57,6 +63,12 @@ func main() {
 		os.Exit(2)
 	}
 	tensor.SetWorkers(*workers)
+	w, err := cluster.ParseWire(*wire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.SetWire(w)
 	id := flag.Arg(0)
 	switch id {
 	case "list":

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/allreduce"
+	"repro/internal/cluster"
 	"repro/internal/netmodel"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -32,9 +33,15 @@ func main() {
 		evalEvery = flag.Int("eval", 20, "evaluate every N iterations")
 		commodity = flag.Bool("commodity", false, "use commodity-cloud network constants")
 		workers   = flag.Int("workers", 0, "tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
+		wire      = flag.String("wire", "f64", "collective wire format: f64 (seed behavior) or f32 (float32 values, half-word accounting)")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
+	wm, err := cluster.ParseWire(*wire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := train.Config{
 		Workload:  *workload,
@@ -44,6 +51,7 @@ func main() {
 		Seed:      *seed,
 		LR:        *lr,
 		Adam:      *adam || *workload == "BERT",
+		Wire:      wm,
 		Reduce: allreduce.Config{
 			Density: *density, Tau: *tau, TauPrime: *tauPrime,
 		},

@@ -17,7 +17,7 @@
 //	internal/cluster     P-worker message-passing runtime (MPI stand-in):
 //	                     typed pooled messages, per-rank buffer pools with
 //	                     ownership-transfer, batched mailboxes, atomic
-//	                     sense-reversing barrier
+//	                     sense-reversing barrier, f64/f32 wire formats
 //	internal/netmodel    α-β cost model and phase-attributed clocks
 //	internal/topk        selection strategies and threshold reuse
 //	internal/sparse      COO sparse vectors + single-owner Vec pools
@@ -35,6 +35,20 @@
 //	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)
 //	cmd/oktopk-train     run one training configuration
 //	examples/            runnable walk-throughs of the public API
+//
+// The whole collective stack runs on either of two wire formats,
+// selected by the -wire {f64,f32} flag on both commands (and
+// train.Config.Wire / cluster.NewWire in code): the default f64 wire is
+// the seed behavior — every transmitted element is an 8-byte word —
+// while the f32 wire matches the paper's systems, which ship float32
+// gradients: values are rounded to float32 exactly once at the send
+// edge, travel in pooled []float32 buffers, and every 4-byte element
+// (value or index) is accounted as half a word, halving all β terms and
+// pool value-buffer memory. Compute stays float64 in both modes, and
+// both modes preserve the zero-allocation steady state, bit-identical
+// replicas, and byte-identical output at any -parallel/-workers
+// setting. See DESIGN.md's "wire format" section and the paired
+// f64/f32 tables in EXPERIMENTS.md.
 //
 // The benchmarks in bench_test.go regenerate each table/figure regime
 // under `go test -bench`; see DESIGN.md for the per-experiment index and

@@ -11,11 +11,17 @@
 // mpi4py implementation exchanges small sparse chunks.
 //
 // The runtime is allocation-free in steady state: messages and the
-// common payload shapes ([]float64 buffers, Chunks, []Chunk containers)
-// are typed fields of Message rather than interface values, drawn from
-// per-rank freelists under the ownership-transfer protocol documented
-// in payload.go. The generic Send/Recv (any payload) remains for cold
-// paths and tests.
+// common payload shapes ([]float64 and []float32 buffers, Chunks,
+// []Chunk containers) are typed fields of Message rather than interface
+// values, drawn from per-rank freelists under the ownership-transfer
+// protocol documented in payload.go. The generic Send/Recv (any
+// payload) remains for cold paths and tests.
+//
+// A cluster is built for one Wire format (NewWire): on the default f64
+// wire every value is an 8-byte word; on the f32 wire values are
+// rounded to float32 at the send edge, travel as pooled []float32
+// buffers, and every 4-byte element is accounted as half a word — see
+// wire.go. Compute above the runtime stays float64 in both modes.
 package cluster
 
 import (
@@ -37,14 +43,15 @@ type payloadKind uint8
 const (
 	payloadAny payloadKind = iota
 	payloadFloats
+	payloadFloats32
 	payloadChunk
 	payloadChunks
 )
 
 // Message is an in-flight point-to-point message. The payload lives in
-// exactly one of Data (generic), floats, chunk or chunks, selected by
-// kind; typed payloads avoid the interface boxing allocation that a
-// plain `any` field forces on every send.
+// exactly one of Data (generic), floats, floats32, chunk or chunks,
+// selected by kind; typed payloads avoid the interface boxing
+// allocation that a plain `any` field forces on every send.
 type Message struct {
 	Src    int
 	Tag    int
@@ -52,10 +59,11 @@ type Message struct {
 	Words  int     // accounted wire size in 8-byte words
 	Depart float64 // simulated departure time at the sender
 
-	kind   payloadKind
-	floats []float64
-	chunk  Chunk
-	chunks []Chunk
+	kind     payloadKind
+	floats   []float64
+	floats32 []float32
+	chunk    Chunk
+	chunks   []Chunk
 }
 
 // payload extracts the message payload as an interface value (boxing
@@ -64,6 +72,8 @@ func (m *Message) payload() any {
 	switch m.kind {
 	case payloadFloats:
 		return m.floats
+	case payloadFloats32:
+		return m.floats32
 	case payloadChunk:
 		return m.chunk
 	case payloadChunks:
@@ -253,6 +263,7 @@ func (b *barrier) wait(t float64) float64 {
 // Cluster owns the shared state of one P-worker run.
 type Cluster struct {
 	size     int
+	wire     Wire
 	boxes    []*mailbox
 	barrier  *barrier
 	clocks   []*netmodel.Clock
@@ -269,12 +280,19 @@ type Cluster struct {
 func (c *Cluster) SetRecorder(r *trace.Recorder) { c.recorder = r }
 
 // New creates a cluster of the given size with per-rank clocks using the
-// supplied cost parameters.
+// supplied cost parameters, on the default float64 wire.
 func New(size int, params netmodel.Params) *Cluster {
+	return NewWire(size, params, WireF64)
+}
+
+// NewWire creates a cluster with an explicit wire format. WireF32 makes
+// every collective ship rounded float32 values in pooled []float32
+// buffers at half-word accounting; compute above the wire stays float64.
+func NewWire(size int, params netmodel.Params, wire Wire) *Cluster {
 	if size <= 0 {
 		panic("cluster: size must be positive")
 	}
-	c := &Cluster{size: size, barrier: newBarrier(size)}
+	c := &Cluster{size: size, wire: wire, barrier: newBarrier(size)}
 	c.boxes = make([]*mailbox, size)
 	c.clocks = make([]*netmodel.Clock, size)
 	c.comms = make([]Comm, size)
@@ -292,6 +310,9 @@ func New(size int, params netmodel.Params) *Cluster {
 
 // Size returns the number of workers.
 func (c *Cluster) Size() int { return c.size }
+
+// Wire returns the cluster's wire format.
+func (c *Cluster) Wire() Wire { return c.wire }
 
 // Comm returns the communicator for the given rank. Typically only Run
 // needs this, but tests drive individual ranks directly.
@@ -365,17 +386,22 @@ func (c *Cluster) Run(body func(comm *Comm) error) error {
 type Endpoint interface {
 	Rank() int
 	Size() int
+	Wire() Wire
 	Send(dst, tag int, data any, words int)
 	SendFloats(dst, tag int, x []float64, words int)
+	SendFloat32s(dst, tag int, x []float32, words int)
 	SendChunk(dst, tag int, ch Chunk, words int)
 	SendChunks(dst, tag int, chs []Chunk, words int)
 	Recv(src, tag int) any
 	RecvFloat64(src, tag int) []float64
+	RecvFloat32(src, tag int) []float32
 	RecvChunk(src, tag int) Chunk
 	RecvChunks(src, tag int) []Chunk
 	RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk))
 	GetFloats(n int) []float64
 	PutFloats(s []float64)
+	GetFloat32s(n int) []float32
+	PutFloat32s(s []float32)
 	GetInt32s(n int) []int32
 	PutInt32s(s []int32)
 	GetChunks(n int) []Chunk
@@ -400,6 +426,10 @@ func (cm *Comm) Rank() int { return cm.rank }
 
 // Size returns the number of workers in the cluster.
 func (cm *Comm) Size() int { return cm.cluster.size }
+
+// Wire returns the cluster's wire format; collective algorithms consult
+// it to pick the value representation and word accounting at the edges.
+func (cm *Comm) Wire() Wire { return cm.cluster.wire }
 
 // Clock exposes the rank's simulated clock for phase switching and local
 // compute accounting.
@@ -442,6 +472,15 @@ func (cm *Comm) Send(dst, tag int, data any, words int) {
 func (cm *Comm) SendFloats(dst, tag int, x []float64, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.floats = payloadFloats, x
+	cm.cluster.boxes[dst].put(msg)
+}
+
+// SendFloat32s transmits an f32-wire value payload without boxing.
+// Ownership of x transfers to the receiver exactly as for SendFloats;
+// the receiver releases it with PutFloat32s.
+func (cm *Comm) SendFloat32s(dst, tag int, x []float32, words int) {
+	msg := cm.stampSend(dst, tag, words)
+	msg.kind, msg.floats32 = payloadFloats32, x
 	cm.cluster.boxes[dst].put(msg)
 }
 
@@ -508,6 +547,22 @@ func (cm *Comm) RecvFloat64(src, tag int) []float64 {
 		x = msg.floats
 	} else {
 		x = msg.Data.([]float64)
+	}
+	cm.release(msg)
+	return x
+}
+
+// RecvFloat32 receives an f32-wire value payload (sent with
+// SendFloat32s or a generic Send). The caller owns the buffer and
+// should release it with PutFloat32s once its contents are widened into
+// local float64 state.
+func (cm *Comm) RecvFloat32(src, tag int) []float32 {
+	msg := cm.recvMsg(src, tag)
+	var x []float32
+	if msg.kind == payloadFloats32 {
+		x = msg.floats32
+	} else {
+		x = msg.Data.([]float32)
 	}
 	cm.release(msg)
 	return x

@@ -55,6 +55,9 @@ func (g *Group) Rank() int { return g.myRank }
 // Size returns the group size.
 func (g *Group) Size() int { return len(g.ranks) }
 
+// Wire returns the underlying cluster's wire format.
+func (g *Group) Wire() Wire { return g.world.Wire() }
+
 // WorldRank translates a group rank to the world rank.
 func (g *Group) WorldRank(r int) int { return g.ranks[r] }
 
@@ -70,6 +73,12 @@ func (g *Group) Send(dst, tag int, data any, words int) {
 // transfers; see payload.go).
 func (g *Group) SendFloats(dst, tag int, x []float64, words int) {
 	g.world.SendFloats(g.ranks[dst], tag+g.tagShift, x, words)
+}
+
+// SendFloat32s transmits an f32-wire value payload to a group rank
+// (ownership transfers; see payload.go).
+func (g *Group) SendFloat32s(dst, tag int, x []float32, words int) {
+	g.world.SendFloat32s(g.ranks[dst], tag+g.tagShift, x, words)
 }
 
 // SendChunk transmits a single Chunk to a group rank.
@@ -90,6 +99,11 @@ func (g *Group) Recv(src, tag int) any {
 // RecvFloat64 receives a []float64 payload from a group rank.
 func (g *Group) RecvFloat64(src, tag int) []float64 {
 	return g.world.RecvFloat64(g.ranks[src], tag+g.tagShift)
+}
+
+// RecvFloat32 receives an f32-wire value payload from a group rank.
+func (g *Group) RecvFloat32(src, tag int) []float32 {
+	return g.world.RecvFloat32(g.ranks[src], tag+g.tagShift)
 }
 
 // RecvChunk receives a single-chunk payload from a group rank.
@@ -120,6 +134,12 @@ func (g *Group) GetFloats(n int) []float64 { return g.world.GetFloats(n) }
 
 // PutFloats releases to the underlying rank's pool.
 func (g *Group) PutFloats(s []float64) { g.world.PutFloats(s) }
+
+// GetFloat32s draws from the underlying rank's pool.
+func (g *Group) GetFloat32s(n int) []float32 { return g.world.GetFloat32s(n) }
+
+// PutFloat32s releases to the underlying rank's pool.
+func (g *Group) PutFloat32s(s []float32) { g.world.PutFloat32s(s) }
 
 // GetInt32s draws from the underlying rank's pool.
 func (g *Group) GetInt32s(n int) []int32 { return g.world.GetInt32s(n) }

@@ -8,8 +8,9 @@ package cluster
 // Every pooled buffer has exactly one owner at any time:
 //
 //  1. the sender draws a buffer from ITS OWN rank pool (GetFloats /
-//     GetInt32s / GetChunks), fills it, and relinquishes ownership by
-//     passing it to SendFloats / SendChunk / SendChunks;
+//     GetFloat32s / GetInt32s / GetChunks), fills it, and relinquishes
+//     ownership by passing it to SendFloats / SendFloat32s / SendChunk /
+//     SendChunks;
 //  2. the message carries the buffer; while in flight nobody may touch
 //     it;
 //  3. the receiver takes ownership on Recv*, folds the contents into
@@ -33,23 +34,60 @@ package cluster
 // Chunk is a tagged variable-size wire payload: one origin rank's
 // (values, indexes) contribution. It is the message unit of every
 // sparse collective; the collectives package re-exports it as
-// collectives.Chunk.
+// collectives.Chunk. Values live in exactly one of Data (f64 wire) or
+// Data32 (f32 wire, rounded at the send edge); receivers branch on
+// Data32 and widen back to float64 as they fold.
 type Chunk struct {
 	Origin int
 	Data   []float64
-	Aux    []int32 // optional parallel index payload (COO indexes)
+	Data32 []float32 // f32-wire value payload (Data is nil)
+	Aux    []int32   // optional parallel index payload (COO indexes)
 	// WordsOverride, when positive, replaces the default wire-size
 	// accounting (one word per element). Compressed payloads — e.g.
 	// quantized values — set it to their packed size.
 	WordsOverride int
 }
 
-// Words returns the accounted wire size of the chunk.
+// Words returns the accounted wire size of the chunk: one word per
+// element for f64 values, half a word (ceil) per 4-byte element —
+// float32 value or int32 index — when the values ride the f32 wire.
 func (c Chunk) Words() int {
 	if c.WordsOverride > 0 {
 		return c.WordsOverride
 	}
+	if c.Data32 != nil {
+		return WireF32.Words(len(c.Data32) + len(c.Aux))
+	}
 	return len(c.Data) + len(c.Aux)
+}
+
+// NumValues returns the number of values regardless of wire format.
+func (c Chunk) NumValues() int {
+	if c.Data32 != nil {
+		return len(c.Data32)
+	}
+	return len(c.Data)
+}
+
+// Value returns value i widened to compute precision. Hot loops should
+// branch on Data32 once per chunk instead; this is the cold-path and
+// test accessor.
+func (c Chunk) Value(i int) float64 {
+	if c.Data32 != nil {
+		return float64(c.Data32[i])
+	}
+	return c.Data[i]
+}
+
+// AppendValues appends every value, widened to float64, onto dst.
+func (c Chunk) AppendValues(dst []float64) []float64 {
+	if c.Data32 != nil {
+		for _, v := range c.Data32 {
+			dst = append(dst, float64(v))
+		}
+		return dst
+	}
+	return append(dst, c.Data...)
 }
 
 // poolCap bounds each freelist so a pathological phase cannot pin
@@ -92,10 +130,11 @@ func (f *freelist[T]) put(s []T) {
 // rankPools is one rank's lock-free buffer freelists. All access is
 // from that rank's goroutine only.
 type rankPools struct {
-	msgs   []*Message
-	floats freelist[float64]
-	ints   freelist[int32]
-	chunks freelist[Chunk] // clearOnPut: drop payload references
+	msgs     []*Message
+	floats   freelist[float64]
+	floats32 freelist[float32] // f32-wire value buffers (half the bytes)
+	ints     freelist[int32]
+	chunks   freelist[Chunk] // clearOnPut: drop payload references
 }
 
 func (p *rankPools) getMsg() *Message {
@@ -124,6 +163,15 @@ func (cm *Comm) GetFloats(n int) []float64 { return cm.pools().floats.get(n) }
 // hold the only remaining reference; nil is a no-op.
 func (cm *Comm) PutFloats(s []float64) { cm.pools().floats.put(s) }
 
+// GetFloat32s returns a length-n f32-wire value buffer from this rank's
+// pool. Senders fill it by rounding float64 values at the edge; the
+// ownership-transfer protocol is identical to GetFloats.
+func (cm *Comm) GetFloat32s(n int) []float32 { return cm.pools().floats32.get(n) }
+
+// PutFloat32s returns an f32 value buffer to this rank's pool; nil is a
+// no-op.
+func (cm *Comm) PutFloat32s(s []float32) { cm.pools().floats32.put(s) }
+
 // GetInt32s returns a length-n index buffer from this rank's pool.
 func (cm *Comm) GetInt32s(n int) []int32 { return cm.pools().ints.get(n) }
 
@@ -144,7 +192,9 @@ func (cm *Comm) PutChunks(s []Chunk) { cm.pools().chunks.put(s) }
 // buffers for tests (the payload-ownership property test asserts that
 // no backing array is reachable from two pools at once). Not for
 // production use.
-func (c *Cluster) PooledBuffers(rank int) (floats [][]float64, ints [][]int32) {
+func (c *Cluster) PooledBuffers(rank int) (floats [][]float64, floats32 [][]float32, ints [][]int32) {
 	p := &c.pools[rank]
-	return append([][]float64(nil), p.floats.free...), append([][]int32(nil), p.ints.free...)
+	return append([][]float64(nil), p.floats.free...),
+		append([][]float32(nil), p.floats32.free...),
+		append([][]int32(nil), p.ints.free...)
 }

@@ -9,21 +9,25 @@
 //   - recursive-doubling allgather and allgatherv;
 //   - binomial-tree broadcast, reduce and gather.
 //
-// Word accounting follows the paper: every transmitted element (value or
-// index) is one word.
+// Word accounting follows the paper: on the default f64 wire every
+// transmitted element (value or index) is one word. On the f32 wire
+// (cluster.WireF32) values are rounded to float32 at the send edge and
+// every 4-byte element counts half a word, halving all β terms; where a
+// rank keeps data it also transmits (the owned block of a
+// reduce-scatter, a broadcast root's buffer), the kept copy is rounded
+// through the same precision so every rank holds bit-identical results.
 //
 // All point-to-point payloads ride the typed, pooled message paths of
-// the cluster runtime (SendFloats/SendChunk/SendChunks), so a collective
-// in steady state allocates nothing: outgoing copies come from the
-// sender's rank pool and are released into the receiver's.
+// the cluster runtime (SendFloats/SendFloat32s/SendChunk/SendChunks),
+// so a collective in steady state allocates nothing: outgoing copies
+// come from the sender's rank pool and are released into the
+// receiver's.
 package collectives
 
 import (
-	"fmt"
 	"math/bits"
 
 	"repro/internal/cluster"
-	"repro/internal/tensor"
 )
 
 // Tag bases; each collective offsets by the internal step so composed
@@ -102,16 +106,14 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		cm.SendFloats(partner, tagAllreduce+s, sendCopy(cm, x[sendLo:sendHi]), sendHi-sendLo)
-		recv := cm.RecvFloat64(partner, tagAllreduce+s)
-		if len(recv) != keepHi-keepLo {
-			panic(fmt.Sprintf("collectives: rabenseifner block mismatch %d != %d", len(recv), keepHi-keepLo))
-		}
-		cm.Clock().Compute(float64(len(recv)))
-		tensor.Axpy(1, recv, x[keepLo:keepHi])
-		cm.PutFloats(recv)
+		sendWire(cm, partner, tagAllreduce+s, x[sendLo:sendHi])
+		recvAxpy(cm, partner, tagAllreduce+s, x[keepLo:keepHi])
 		lo, hi = keepLo, keepHi
 	}
+	// The owned block now leaves through the allgather: round it through
+	// the wire precision so this rank keeps exactly what the others
+	// receive.
+	cm.Wire().Round(x[lo:hi])
 	// Allgather by recursive doubling: reverse the halving, restoring
 	// each parent range by exchanging the complementary half.
 	for s := steps - 1; s >= 0; s-- {
@@ -124,13 +126,8 @@ func allreduceRabenseifner(cm cluster.Endpoint, x []float64) {
 		} else {
 			partnerLo, partnerHi = parent.lo, lo
 		}
-		cm.SendFloats(partner, tagAllreduce+1024+s, sendCopy(cm, x[lo:hi]), hi-lo)
-		recv := cm.RecvFloat64(partner, tagAllreduce+1024+s)
-		if len(recv) != partnerHi-partnerLo {
-			panic(fmt.Sprintf("collectives: rabenseifner allgather mismatch %d != %d", len(recv), partnerHi-partnerLo))
-		}
-		copy(x[partnerLo:partnerHi], recv)
-		cm.PutFloats(recv)
+		sendWire(cm, partner, tagAllreduce+1024+s, x[lo:hi])
+		recvCopy(cm, partner, tagAllreduce+1024+s, x[partnerLo:partnerHi])
 		lo, hi = parent.lo, parent.hi
 	}
 }
@@ -150,23 +147,22 @@ func AllreduceRing(cm cluster.Endpoint, x []float64) {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.SendFloats(next, tagAllreduce+2048+s, sendCopy(cm, x[slo:shi]), shi-slo)
-		recv := cm.RecvFloat64(prev, tagAllreduce+2048+s)
+		sendWire(cm, next, tagAllreduce+2048+s, x[slo:shi])
 		rlo, rhi := blockRange(n, p, rb)
-		cm.Clock().Compute(float64(rhi - rlo))
-		tensor.Axpy(1, recv, x[rlo:rhi])
-		cm.PutFloats(recv)
+		recvAxpy(cm, prev, tagAllreduce+2048+s, x[rlo:rhi])
 	}
+	// Round the finished owned block through the wire precision before it
+	// circulates, so this rank keeps exactly what the others receive.
+	flo, fhi := blockRange(n, p, (rank+1)%p)
+	cm.Wire().Round(x[flo:fhi])
 	// Allgather ring: circulate the finished blocks.
 	for s := 0; s < p-1; s++ {
 		sb := ((rank-s+1)%p + p) % p
 		rb := ((rank-s)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.SendFloats(next, tagAllreduce+4096+s, sendCopy(cm, x[slo:shi]), shi-slo)
-		recv := cm.RecvFloat64(prev, tagAllreduce+4096+s)
+		sendWire(cm, next, tagAllreduce+4096+s, x[slo:shi])
 		rlo, rhi := blockRange(n, p, rb)
-		copy(x[rlo:rhi], recv)
-		cm.PutFloats(recv)
+		recvCopy(cm, prev, tagAllreduce+4096+s, x[rlo:rhi])
 	}
 }
 
@@ -185,14 +181,15 @@ func ReduceScatterBlock(cm cluster.Endpoint, x []float64) (lo, hi int) {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
-		cm.SendFloats(next, tagAllreduce+8192+s, sendCopy(cm, x[slo:shi]), shi-slo)
-		recv := cm.RecvFloat64(prev, tagAllreduce+8192+s)
+		sendWire(cm, next, tagAllreduce+8192+s, x[slo:shi])
 		rlo, rhi := blockRange(n, p, rb)
-		cm.Clock().Compute(float64(rhi - rlo))
-		tensor.Axpy(1, recv, x[rlo:rhi])
-		cm.PutFloats(recv)
+		recvAxpy(cm, prev, tagAllreduce+8192+s, x[rlo:rhi])
 	}
-	return blockRange(n, p, (rank+1)%p)
+	lo, hi = blockRange(n, p, (rank+1)%p)
+	// The block is complete and would leave through a follow-up gather;
+	// round it so its owner holds the same values the wire would carry.
+	cm.Wire().Round(x[lo:hi])
+	return lo, hi
 }
 
 // Allgather gathers each rank's equally sized block into a full vector on
@@ -209,6 +206,10 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 	if p == 1 {
 		return
 	}
+	// Round the own block through the wire precision: every other rank
+	// receives the rounded values, so the local copy must match. (After
+	// the P=1 guard: data that never crosses a wire is never rounded.)
+	cm.Wire().Round(out[rank*bn : (rank+1)*bn])
 	if isPow2(p) {
 		// Recursive doubling: before the step at distance d each rank
 		// holds the d contiguous blocks of its aligned group of size d;
@@ -218,10 +219,8 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 			myBase := rank &^ (dist - 1)
 			partnerBase := partner &^ (dist - 1)
 			myLo := myBase * bn
-			cm.SendFloats(partner, tagAllgather+s, sendCopy(cm, out[myLo:myLo+dist*bn]), dist*bn)
-			recv := cm.RecvFloat64(partner, tagAllgather+s)
-			copy(out[partnerBase*bn:(partnerBase+dist)*bn], recv)
-			cm.PutFloats(recv)
+			sendWire(cm, partner, tagAllgather+s, out[myLo:myLo+dist*bn])
+			recvCopy(cm, partner, tagAllgather+s, out[partnerBase*bn:(partnerBase+dist)*bn])
 		}
 		return
 	}
@@ -231,10 +230,8 @@ func Allgather(cm cluster.Endpoint, block []float64, out []float64) {
 	for s := 0; s < p-1; s++ {
 		sb := ((rank-s)%p + p) % p
 		rb := ((rank-s-1)%p + p) % p
-		cm.SendFloats(next, tagAllgather+1024+s, sendCopy(cm, out[sb*bn:(sb+1)*bn]), bn)
-		recv := cm.RecvFloat64(prev, tagAllgather+1024+s)
-		copy(out[rb*bn:(rb+1)*bn], recv)
-		cm.PutFloats(recv)
+		sendWire(cm, next, tagAllgather+1024+s, out[sb*bn:(sb+1)*bn])
+		recvCopy(cm, prev, tagAllgather+1024+s, out[rb*bn:(rb+1)*bn])
 	}
 }
 
@@ -342,7 +339,9 @@ func AllgathervInto(cm cluster.Endpoint, mine Chunk, result []Chunk) []Chunk {
 // Bcast broadcasts root's vector to all ranks along a binomial tree and
 // returns the received (or original) data. Each hop forwards pooled
 // copies, so a non-root caller owns the returned buffer and may release
-// it with cm.PutFloats once consumed (root gets its own input back).
+// it with cm.PutFloats once consumed (root gets its own input back). On
+// the f32 wire, root's data is rounded through the wire precision in
+// place before forwarding, so all ranks hold identical values.
 func Bcast(cm cluster.Endpoint, root int, data []float64) []float64 {
 	p := cm.Size()
 	if p == 1 {
@@ -352,14 +351,16 @@ func Bcast(cm cluster.Endpoint, root int, data []float64) []float64 {
 	if vrank != 0 {
 		// Receive from parent: clear the lowest set bit.
 		parent := (vrank&(vrank-1) + root) % p
-		data = cm.RecvFloat64(parent, tagBcast)
+		data = recvWireFloats(cm, parent, tagBcast)
+	} else {
+		cm.Wire().Round(data)
 	}
 	// Forward to children: set bits above the lowest set bit.
 	for d := 1; d < p; d *= 2 {
 		if vrank&(d-1) == 0 && vrank&d == 0 {
 			child := vrank | d
 			if child < p {
-				cm.SendFloats((child+root)%p, tagBcast, sendCopy(cm, data), len(data))
+				sendWire(cm, (child+root)%p, tagBcast, data)
 			}
 		}
 	}
@@ -378,15 +379,12 @@ func Reduce(cm cluster.Endpoint, root int, x []float64) {
 	for d := 1; d < p; d *= 2 {
 		if vrank&d != 0 {
 			parent := (vrank&^d + root) % p
-			cm.SendFloats(parent, tagReduce+d, sendCopy(cm, x), len(x))
+			sendWire(cm, parent, tagReduce+d, x)
 			return
 		}
 		child := vrank | d
 		if child < p {
-			recv := cm.RecvFloat64((child+root)%p, tagReduce+d)
-			cm.Clock().Compute(float64(len(recv)))
-			tensor.Axpy(1, recv, x)
-			cm.PutFloats(recv)
+			recvAxpy(cm, (child+root)%p, tagReduce+d, x)
 		}
 	}
 }

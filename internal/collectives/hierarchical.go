@@ -79,8 +79,8 @@ func Alltoall(cm cluster.Endpoint, sendBlocks [][]float64) [][]float64 {
 	for s := 1; s < p; s++ {
 		dst := (rank + s) % p
 		src := (rank - s + p) % p
-		cm.SendFloats(dst, tagA2A+s, sendCopy(cm, sendBlocks[dst]), len(sendBlocks[dst]))
-		out[src] = cm.RecvFloat64(src, tagA2A+s)
+		sendWire(cm, dst, tagA2A+s, sendBlocks[dst])
+		out[src] = recvWireFloats(cm, src, tagA2A+s)
 	}
 	return out
 }

@@ -1,0 +1,119 @@
+package collectives
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// f32AlmostEqual allows float32 rounding accumulated over a few hops.
+func f32AlmostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-5*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestAllreduceF32Wire: on the f32 wire, every dense allreduce variant
+// still sums correctly (within float32 rounding), all ranks hold
+// BIT-identical results (the round-own-block rule), and the traffic is
+// half the f64 words.
+func TestAllreduceF32Wire(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 5} { // 5 exercises the ring fallback
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			n := 103
+			want := expectedSum(p, n)
+			results := make([][]float64, p)
+			c32 := cluster.NewWire(p, testParams(), cluster.WireF32)
+			if err := c32.Run(func(cm *cluster.Comm) error {
+				x := rankVector(cm.Rank(), n)
+				Allreduce(cm, x)
+				results[cm.Rank()] = x
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for r, x := range results {
+				for i := range x {
+					if !f32AlmostEqual(x[i], want[i]) {
+						t.Fatalf("rank %d: x[%d]=%v drifts beyond f32 rounding from %v", r, i, x[i], want[i])
+					}
+					if x[i] != results[0][i] {
+						t.Fatalf("rank %d diverges from rank 0 at %d: %v != %v", r, i, x[i], results[0][i])
+					}
+				}
+			}
+
+			c64 := cluster.New(p, testParams())
+			if err := c64.Run(func(cm *cluster.Comm) error {
+				x := rankVector(cm.Rank(), n)
+				Allreduce(cm, x)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var w32, w64 int64
+			for _, s := range c32.Stats() {
+				w32 += s.SentWords
+			}
+			for _, s := range c64.Stats() {
+				w64 += s.SentWords
+			}
+			if ratio := float64(w32) / float64(w64); ratio > 0.56 || ratio < 0.44 {
+				t.Errorf("f32/f64 words ratio %.3f, want ≈0.5", ratio)
+			}
+		})
+	}
+}
+
+// TestBcastAndAllgatherF32RankIdentical: fan-out collectives on the f32
+// wire leave every rank — the root/contributor included — with
+// bit-identical data.
+func TestBcastAndAllgatherF32RankIdentical(t *testing.T) {
+	const p, bn = 4, 9
+	var mu sync.Mutex
+	bcasts := make([][]float64, p)
+	gathers := make([][]float64, p)
+	c := cluster.NewWire(p, testParams(), cluster.WireF32)
+	if err := c.Run(func(cm *cluster.Comm) error {
+		data := make([]float64, 11)
+		for i := range data {
+			data[i] = 1.0/3.0 + float64(i)*math.Pi
+		}
+		got := Bcast(cm, 1, data)
+		block := make([]float64, bn)
+		for i := range block {
+			block[i] = float64(cm.Rank()) + 1.0/7.0 + float64(i)
+		}
+		out := make([]float64, bn*p)
+		Allgather(cm, block, out)
+		mu.Lock()
+		bcasts[cm.Rank()] = append([]float64(nil), got...)
+		gathers[cm.Rank()] = out
+		mu.Unlock()
+		if cm.Rank() != 1 {
+			cm.PutFloats(got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		for i := range bcasts[0] {
+			if bcasts[r][i] != bcasts[0][i] {
+				t.Fatalf("bcast rank %d diverges at %d", r, i)
+			}
+		}
+		for i := range gathers[0] {
+			if gathers[r][i] != gathers[0][i] {
+				t.Fatalf("allgather rank %d diverges at %d", r, i)
+			}
+		}
+	}
+	// The wire actually narrowed: 1/3-based values cannot survive a
+	// float32 hop intact.
+	if bcasts[0][0] == 1.0/3.0 {
+		t.Error("bcast payload was never rounded to float32")
+	}
+}

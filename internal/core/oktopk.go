@@ -209,11 +209,16 @@ func (o *OkTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Res
 	// from the allgathered reduced top-k values. (The chunk copy is
 	// required: allgathered payloads fan out to several ranks.)
 	if o.globalCtl.ShouldReevaluate(t) {
-		o.scratch.chunks = collectives.AllgathervInto(cm,
-			collectives.Chunk{Data: append([]float64(nil), reducedVal...)}, o.scratch.chunks)
+		var gch collectives.Chunk
+		if cm.Wire() == cluster.WireF32 {
+			gch = collectives.Chunk{Data32: sparse.Narrow32(reducedVal)}
+		} else {
+			gch = collectives.Chunk{Data: append([]float64(nil), reducedVal...)}
+		}
+		o.scratch.chunks = collectives.AllgathervInto(cm, gch, o.scratch.chunks)
 		all := o.scratch.gatherBuf[:0]
 		for _, ch := range o.scratch.chunks {
-			all = append(all, ch.Data...)
+			all = ch.AppendValues(all)
 		}
 		o.scratch.gatherBuf = all
 		allreduce.ChargeSort(cm, o.cfg, len(all))
@@ -278,18 +283,20 @@ func (o *OkTopk) repartition(cm cluster.Endpoint, n int, localIdx []int32) []int
 	return bounds
 }
 
-// wireChunk packages (indexes, values) for transmission. With the
-// quantization extension enabled (Config.QuantBits > 0), values travel
-// as QuantBits-bit stochastic levels: the receiver observes the
+// quantChunk packages (indexes, values) for transmission with the
+// quantization extension (Config.QuantBits > 0): values travel as
+// QuantBits-bit stochastic levels — the receiver observes the
 // dequantized values (quantization error is introduced exactly once, at
-// the source) and the wire accounting shrinks accordingly. The rng is
-// deterministic per (rank, iteration), keeping runs reproducible.
-func (o *OkTopk) wireChunk(cm cluster.Endpoint, rng *rand.Rand, idx []int32, val []float64) collectives.Chunk {
+// the source, so the f32 wire adds no second rounding) and the wire
+// accounting shrinks to the packed size plus the indexes at the active
+// wire mode's per-element width. The rng is deterministic per (rank,
+// iteration), keeping runs reproducible.
+func (o *OkTopk) quantChunk(cm cluster.Endpoint, rng *rand.Rand, idx []int32, val []float64) collectives.Chunk {
 	ch := collectives.Chunk{Data: val, Aux: idx}
-	if o.cfg.QuantBits > 0 && len(val) > 0 {
+	if len(val) > 0 {
 		q := quant.Quantize(rng, val, o.cfg.QuantBits)
 		ch.Data = q.Dequantize()
-		ch.WordsOverride = q.Words() + len(idx)
+		ch.WordsOverride = q.Words() + cm.Wire().Words(len(idx))
 		// The chunk now carries the dequantized copy; val has no other
 		// referent at any call site, so recycle it.
 		cm.PutFloats(val)
@@ -341,15 +348,26 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		regionVal[j] = append(regionVal[j], acc[idx])
 	}
 
-	// wire copies region dst into buffers drawn from this rank's pool,
-	// owned by the outgoing message; the receiver releases them into its
-	// own pool after accumulating (ownership transfer).
+	// wire copies region dst into wire-format buffers drawn from this
+	// rank's pool, owned by the outgoing message; the receiver releases
+	// them into its own pool after accumulating (ownership transfer).
+	// On the f32 wire the values are rounded here, at the edge.
 	wire := func(dst int) collectives.Chunk {
 		idx := cm.GetInt32s(len(regionIdx[dst]))
 		copy(idx, regionIdx[dst])
+		if o.cfg.QuantBits > 0 {
+			val := cm.GetFloats(len(regionVal[dst]))
+			copy(val, regionVal[dst])
+			return o.quantChunk(cm, qrng, idx, val)
+		}
+		if cm.Wire() == cluster.WireF32 {
+			val := cm.GetFloat32s(len(regionVal[dst]))
+			cluster.NarrowInto(val, regionVal[dst])
+			return collectives.Chunk{Data32: val, Aux: idx}
+		}
 		val := cm.GetFloats(len(regionVal[dst]))
 		copy(val, regionVal[dst])
-		return o.wireChunk(cm, qrng, idx, val)
+		return collectives.Chunk{Data: val, Aux: idx}
 	}
 
 	// Reduction buffer for my region (scratch, all-zero on entry), plus
@@ -374,15 +392,34 @@ func (o *OkTopk) splitAndReduce(cm cluster.Endpoint, acc []float64, localIdx []i
 		runEnds = append(runEnds, len(touched))
 		cm.Clock().Compute(float64(len(idxs)))
 	}
+	// accumulate32 is accumulate for f32-wire payloads, widening each
+	// value back to compute precision as it folds in.
+	accumulate32 := func(idxs []int32, vals []float32) {
+		for i, idx := range idxs {
+			off := int(idx) - lo
+			v := float64(vals[i])
+			if buf[off] == 0 && v != 0 {
+				touched = append(touched, idx)
+			}
+			buf[off] += v
+		}
+		runEnds = append(runEnds, len(touched))
+		cm.Clock().Compute(float64(len(idxs)))
+	}
 	// receiveEach drains one region message per key in key order (the
 	// deterministic accumulation order), harvesting queued messages in
 	// batches under a single mailbox lock hold, and releases each
 	// message's buffers into this rank's pool.
 	receiveEach := func(keys []cluster.RecvKey) {
 		cm.RecvChunkEach(keys, func(i int, ch collectives.Chunk) {
-			accumulate(ch.Aux, ch.Data)
+			if ch.Data32 != nil {
+				accumulate32(ch.Aux, ch.Data32)
+				cm.PutFloat32s(ch.Data32)
+			} else {
+				accumulate(ch.Aux, ch.Data)
+				cm.PutFloats(ch.Data)
+			}
 			cm.PutInt32s(ch.Aux)
-			cm.PutFloats(ch.Data)
 		})
 	}
 	accumulate(regionIdx[rank], regionVal[rank])
@@ -506,18 +543,32 @@ func (o *OkTopk) balanceAndAllgatherv(cm cluster.Endpoint, n int, reducedIdx []i
 	// ④ Allgatherv (recursive doubling) of the (balanced) chunks. Each
 	// chunk's indexes are sorted and the rank-ordered chunks cover
 	// ascending spans, so the global index list is a merge of sorted
-	// runs (usually a pure concatenation, which MergeRuns detects).
-	var qrng *rand.Rand
-	if o.cfg.QuantBits > 0 {
-		qrng = quantRNG(rank, t+1<<20)
+	// runs (usually a pure concatenation, which MergeRuns detects). The
+	// payload is fresh in wire format (selIdx/selVal were freshly
+	// allocated above); on the f32 wire every rank — the contributor
+	// included — scatters the same rounded values into its update.
+	var mine collectives.Chunk
+	switch {
+	case o.cfg.QuantBits > 0:
+		mine = o.quantChunk(cm, quantRNG(rank, t+1<<20), selIdx, selVal)
+	case cm.Wire() == cluster.WireF32:
+		mine = collectives.Chunk{Data32: sparse.Narrow32(selVal), Aux: selIdx}
+	default:
+		mine = collectives.Chunk{Data: selVal, Aux: selIdx}
 	}
-	o.scratch.chunks = collectives.AllgathervInto(cm, o.wireChunk(cm, qrng, selIdx, selVal), o.scratch.chunks)
+	o.scratch.chunks = collectives.AllgathervInto(cm, mine, o.scratch.chunks)
 	update := o.updateBuffer(n)
 	globalIdx := o.scratch.gidx[:0]
 	gidxEnds := o.scratch.gidxEnds[:0]
 	for _, ch := range o.scratch.chunks {
-		for i, idx := range ch.Aux {
-			update[idx] = ch.Data[i]
+		if ch.Data32 != nil {
+			for i, idx := range ch.Aux {
+				update[idx] = float64(ch.Data32[i])
+			}
+		} else {
+			for i, idx := range ch.Aux {
+				update[idx] = ch.Data[i]
+			}
 		}
 		globalIdx = append(globalIdx, ch.Aux...)
 		gidxEnds = append(gidxEnds, len(globalIdx))
@@ -565,7 +616,17 @@ func rebalance(cm cluster.Endpoint, sizes []int, idx []int32, val []float64) ([]
 			newVal = append(newVal, val[a:b]...)
 			continue
 		}
-		cm.SendChunk(r, tagBalance, collectives.Chunk{Data: val[a:b], Aux: idx[a:b]}, 2*(b-a))
+		// Indexes ride as views of the (immutable from here) selection;
+		// on the f32 wire the values are rounded into a pooled buffer
+		// the receiver releases. Words come from the chunk itself, which
+		// accounts per the representation it carries.
+		ch := collectives.Chunk{Data: val[a:b], Aux: idx[a:b]}
+		if cm.Wire() == cluster.WireF32 {
+			vals := cm.GetFloat32s(b - a)
+			cluster.NarrowInto(vals, val[a:b])
+			ch = collectives.Chunk{Data32: vals, Aux: idx[a:b]}
+		}
+		cm.SendChunk(r, tagBalance, ch, ch.Words())
 	}
 	// Receive pieces of my target span from their current owners.
 	tLo, tHi := target(rank)
@@ -582,7 +643,10 @@ func rebalance(cm cluster.Endpoint, sizes []int, idx []int32, val []float64) ([]
 			panic(fmt.Sprintf("core: rebalance plan mismatch: got %d want %d", len(ch.Aux), oHi-oLo))
 		}
 		newIdx = append(newIdx, ch.Aux...)
-		newVal = append(newVal, ch.Data...)
+		newVal = ch.AppendValues(newVal)
+		if ch.Data32 != nil {
+			cm.PutFloat32s(ch.Data32)
+		}
 	}
 	return newIdx, newVal
 }

@@ -66,6 +66,7 @@ func Convergence(cfg ConvergenceConfig) []Curve {
 			LR:        base,
 			Adam:      adam,
 			Reduce:    allreduce.Config{Density: cfg.Density, TauPrime: 8, Tau: 8},
+			Wire:      wireMode,
 		}
 		if adam {
 			tcfg.Schedule = func(t int) float64 {

@@ -18,6 +18,21 @@ import (
 	"repro/internal/train"
 )
 
+// wireMode is the wire format every experiment cluster is built with.
+// It is set once, before any specs run (the -wire flag on
+// cmd/oktopk-bench), and only read afterwards, so the parallel
+// scheduler's specs can share it without synchronization. Runs in the
+// two modes produce paired rows for the fidelity comparison in
+// EXPERIMENTS.md.
+var wireMode = cluster.WireF64
+
+// SetWire selects the wire format for subsequently built experiment
+// clusters. Call it before RunSpecs, never concurrently with one.
+func SetWire(w cluster.Wire) { wireMode = w }
+
+// WireMode returns the active experiment wire format.
+func WireMode() cluster.Wire { return wireMode }
+
 // SyntheticGradients builds P gradient vectors of size n with realistic
 // heavy-tailed values: a near-zero Gaussian bulk plus `heavy` large
 // entries whose coordinates are drawn from a shared skewed distribution
@@ -155,7 +170,7 @@ func MeasureVolumeStats(name string, p, n, k int) (mean, max float64) {
 	for i := range algos {
 		algos[i] = train.NewAlgorithm(name, cfg)
 	}
-	c := cluster.New(p, netmodel.PizDaint())
+	c := cluster.NewWire(p, netmodel.PizDaint(), wireMode)
 	for it := 1; it <= 2; it++ {
 		if it == 2 {
 			c.ResetClocks()
@@ -237,6 +252,7 @@ func Figure4(workload string, density float64, tauPrime, sampleIter int) Thresho
 		LR:        lrFor(workload),
 		Adam:      workload == "BERT",
 		Reduce:    allreduce.Config{Density: density, TauPrime: tauPrime, Tau: tauPrime},
+		Wire:      wireMode,
 	}
 	cfg.CaptureAcc = true
 	s := train.NewSession(cfg)
@@ -348,6 +364,7 @@ func Figure5(workload string, densities []float64, p, iters, sampleEvery int) Xi
 			LR:        lrFor(workload),
 			Adam:      workload == "BERT",
 			Reduce:    allreduce.Config{Density: d, TauPrime: 8, Tau: 8},
+			Wire:      wireMode,
 		}
 		cfg.CaptureAcc = true
 		s := train.NewSession(cfg)
@@ -415,6 +432,7 @@ func Figure6(workload string, density float64, p, iters, sampleEvery, tauPrime i
 		LR:        lrFor(workload),
 		Adam:      workload == "BERT",
 		Reduce:    allreduce.Config{Density: density, TauPrime: tauPrime, Tau: tauPrime},
+		Wire:      wireMode,
 	}
 	cfg.CaptureAcc = true
 	s := train.NewSession(cfg)
@@ -480,6 +498,7 @@ func FillIn(workload string, density float64, p, iters int) FillInResult {
 		Seed:      19,
 		LR:        lrFor(workload),
 		Reduce:    allreduce.Config{Density: density},
+		Wire:      wireMode,
 	}
 	s := train.NewSession(cfg)
 	s.RunIterations(iters, nil)

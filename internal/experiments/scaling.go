@@ -57,7 +57,7 @@ func figure7Makespan(schedule [][][]float64, k, tau int, repartition, balance bo
 	for i := range algos {
 		algos[i] = core.New(cfg)
 	}
-	c := cluster.New(p, netmodel.PizDaint())
+	c := cluster.NewWire(p, netmodel.PizDaint(), wireMode)
 	for it := 1; it <= len(schedule); it++ {
 		if it == len(schedule) {
 			c.ResetClocks()
@@ -152,6 +152,7 @@ func WeakScaling(workload string, p, batch, iters int, density float64, algorith
 			LR:        lrFor(workload),
 			Adam:      workload == "BERT",
 			Reduce:    allreduce.Config{Density: density, TauPrime: 8, Tau: 8},
+			Wire:      wireMode,
 		}
 		s := train.NewSession(cfg)
 		const warm = 2

@@ -18,6 +18,15 @@
 // and attribute every advance to a Phase (computation, sparsification,
 // communication), which is how the runtime-breakdown figures (8, 10, 12)
 // are regenerated.
+//
+// The unit of every word count is one 8-byte word (β is seconds per
+// 8-byte word). On the default f64 wire each transmitted element —
+// value or index — occupies one word; on the float32 wire
+// (cluster.WireF32) each 4-byte element occupies half a word and
+// senders stamp ⌈elements/2⌉ words (cluster.Wire.Words), which is what
+// halves every β term relative to the f64 wire. The model itself is
+// representation-agnostic: it prices whatever word counts the callers
+// stamp.
 package netmodel
 
 import "fmt"

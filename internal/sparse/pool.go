@@ -1,19 +1,19 @@
 package sparse
 
-// Pool is a single-owner freelist of sparse vectors, the payload arena
-// behind the ownership-transfer messaging of the sparse collectives
-// (TopkDSA's recursive-halving pieces, gTopk's tree payloads): each rank
-// owns one Pool, the sender draws a Vec from ITS pool, fills and sends
-// it, and the receiver — after merging the contents — returns the Vec to
-// ITS OWN pool. Vectors therefore migrate between rank pools over a
-// run, and after a warm-up iteration every pool holds enough right-sized
-// vectors for its rank's fan-out, making the steady state
-// allocation-free.
+// Pool is a single-owner freelist of sparse vectors — the per-rank
+// arena behind the sparse collectives' hop vectors (TopkDSA's
+// recursive-halving pieces, gTopk's tree and broadcast hops). Hop
+// payloads themselves travel as wire-format chunks drawn from the
+// cluster runtime's rank pools (float64 or float32 values, selected by
+// the cluster's Wire mode); on receive, the contents are widened back
+// into a compute-precision Vec drawn from the receiving rank's Pool
+// (Vec.SetWire), merged, and returned to that same Pool. Vectors are
+// therefore strictly rank-local, and after a warm-up iteration every
+// pool holds enough right-sized vectors for its rank's fan-in, keeping
+// the steady state allocation-free.
 //
 // A Pool is NOT safe for concurrent use: it must only ever be touched
-// from its owning rank's goroutine. The happens-before edge between the
-// sender's writes and the receiver's reads (and eventual Put) is the
-// cluster mailbox, exactly as for the runtime's flat buffer pools.
+// from its owning rank's goroutine.
 //
 // Returning a vector is optional — an un-Put vector is simply garbage
 // collected — but a vector that another rank can still observe must

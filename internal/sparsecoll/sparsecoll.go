@@ -21,10 +21,13 @@
 // accounts its traffic and selection work under the α-β cost model.
 //
 // All point-to-point payloads (TopkDSA's halving pieces, gTopk's tree
-// and broadcast hops) are sparse.Vec values drawn from per-rank pools
-// under the ownership-transfer convention: the sender fills a vector
-// from its own pool, the receiver merges it and returns it to its own
-// pool. Fan-out payloads (allgathered chunks) stay freshly allocated.
+// and broadcast hops) travel as wire-format chunks whose index/value
+// buffers come from the sender's cluster rank pools under the
+// ownership-transfer convention — float64 values on the default wire,
+// rounded float32 values at half-word accounting on the f32 wire — and
+// the receiver widens them back into a compute-precision sparse.Vec
+// drawn from its own per-rank Pool before merging. Fan-out payloads
+// (allgathered chunks) stay freshly allocated, in wire format.
 // Result.Update and Result.Contributed are instance-owned scratch,
 // valid until the next Reduce on the same instance.
 package sparsecoll
@@ -43,28 +46,64 @@ import (
 	"repro/internal/topk"
 )
 
-// cooWords is the COO wire size of k nonzeros (k values + k indexes).
-func cooWords(nnz int) int { return 2 * nnz }
+// cooWireWords is the accounted COO wire size of nnz nonzeros (nnz
+// values + nnz indexes) under the endpoint's wire mode.
+func cooWireWords(cm cluster.Endpoint, nnz int) int { return cm.Wire().Words(2 * nnz) }
 
-// slicePooled copies the [lo, hi) index range of v into a vector drawn
-// from the pool. It backs the point-to-point payloads of TopkDSA's
-// recursive halving, where every message has exactly one consumer: the
-// receiver merges it and returns it to its own pool.
-func slicePooled(pool *sparse.Pool, v *sparse.Vec, lo, hi int32) *sparse.Vec {
+// rangeBounds returns the [start, end) positions of v's sorted indexes
+// that fall in the coordinate range [lo, hi).
+func rangeBounds(v *sparse.Vec, lo, hi int32) (int, int) {
 	start := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= lo })
 	end := sort.Search(len(v.Indexes), func(i int) bool { return v.Indexes[i] >= hi })
+	return start, end
+}
+
+// slicePooled copies the [lo, hi) index range of v into a vector drawn
+// from the pool — the local "kept" piece of TopkDSA's recursive
+// halving.
+func slicePooled(pool *sparse.Pool, v *sparse.Vec, lo, hi int32) *sparse.Vec {
+	start, end := rangeBounds(v, lo, hi)
 	out := pool.Get(v.Dim, end-start)
 	copy(out.Indexes, v.Indexes[start:end])
 	copy(out.Values, v.Values[start:end])
 	return out
 }
 
-// pooledCopy fills a pool vector with a full copy of v — the payload
-// fill of every ownership-transfer send in gTopk's trees.
-func pooledCopy(pool *sparse.Pool, v *sparse.Vec) *sparse.Vec {
-	out := pool.Get(v.Dim, v.NNZ())
-	copy(out.Indexes, v.Indexes)
-	copy(out.Values, v.Values)
+// sendVecChunk ships (idx, vals) to dst as a point-to-point wire chunk:
+// both buffers come from this rank's cluster pools — values rounded to
+// float32 on the f32 wire — and ownership transfers to the receiver,
+// which rebuilds a compute-precision pool vector with recvVecChunk.
+// words is the accounted size, already wire-adjusted by the caller.
+func sendVecChunk(cm cluster.Endpoint, dst, tag int, idx []int32, vals []float64, words int) {
+	wi := cm.GetInt32s(len(idx))
+	copy(wi, idx)
+	ch := collectives.Chunk{Aux: wi}
+	if cm.Wire() == cluster.WireF32 {
+		wv := cm.GetFloat32s(len(vals))
+		cluster.NarrowInto(wv, vals)
+		ch.Data32 = wv
+	} else {
+		wv := cm.GetFloats(len(vals))
+		copy(wv, vals)
+		ch.Data = wv
+	}
+	cm.SendChunk(dst, tag, ch, words)
+}
+
+// recvVecChunk receives one hop chunk and rebuilds it as a vector drawn
+// from this rank's Pool (widening f32 wire values back to compute
+// precision), releasing the wire buffers into this rank's cluster
+// pools. The vector goes back to the same Pool after the merge.
+func recvVecChunk(cm cluster.Endpoint, pool *sparse.Pool, src, tag, dim int) *sparse.Vec {
+	ch := cm.RecvChunk(src, tag)
+	out := pool.Get(dim, len(ch.Aux))
+	out.SetWire(ch.Aux, ch.Data, ch.Data32)
+	cm.PutInt32s(ch.Aux)
+	if ch.Data32 != nil {
+		cm.PutFloat32s(ch.Data32)
+	} else {
+		cm.PutFloats(ch.Data)
+	}
 	return out
 }
 
@@ -104,11 +143,22 @@ func (gs *gatherState) sumChunks(n int) (update []float64, globalNNZ int) {
 	gs.touched = gs.touched[:0]
 	nz := 0
 	for _, ch := range gs.chunks {
-		for i, idx := range ch.Aux {
-			if update[idx] == 0 && ch.Data[i] != 0 {
-				nz++
+		if ch.Data32 != nil {
+			// f32 wire: widen once per element as it folds in.
+			for i, idx := range ch.Aux {
+				v := float64(ch.Data32[i])
+				if update[idx] == 0 && v != 0 {
+					nz++
+				}
+				update[idx] += v
 			}
-			update[idx] += ch.Data[i]
+		} else {
+			for i, idx := range ch.Aux {
+				if update[idx] == 0 && ch.Data[i] != 0 {
+					nz++
+				}
+				update[idx] += ch.Data[i]
+			}
 		}
 		gs.touched = append(gs.touched, ch.Aux...)
 	}
@@ -123,7 +173,7 @@ func (gs *gatherState) gatherAndSum(cm cluster.Endpoint, mine collectives.Chunk,
 	gs.chunks = collectives.AllgathervInto(cm, mine, gs.chunks)
 	total := 0
 	for _, ch := range gs.chunks {
-		total += len(ch.Data)
+		total += ch.NumValues()
 	}
 	update, nz := gs.sumChunks(n)
 	cm.Clock().Compute(float64(total)) // local reduction of gathered chunks
@@ -131,14 +181,19 @@ func (gs *gatherState) gatherAndSum(cm cluster.Endpoint, mine collectives.Chunk,
 	return update, nz
 }
 
-// freshChunk copies the selection into exactly-sized fresh slices for
-// the wire: allgathered payloads are shared read-only by every rank, so
-// they must not alias instance scratch or pools.
-func freshChunk(sel *sparse.Vec) collectives.Chunk {
-	return collectives.Chunk{
-		Data: append([]float64(nil), sel.Values...),
-		Aux:  append([]int32(nil), sel.Indexes...),
+// freshChunk copies the selection into exactly-sized fresh slices in
+// the endpoint's wire format: allgathered payloads are shared read-only
+// by every rank, so they must not alias instance scratch or pools. At
+// P=1 the chunk never leaves the rank, so it stays float64 even on the
+// f32 wire (no edge crossed, no rounding).
+func freshChunk(cm cluster.Endpoint, sel *sparse.Vec) collectives.Chunk {
+	ch := collectives.Chunk{Aux: append([]int32(nil), sel.Indexes...)}
+	if cm.Wire() == cluster.WireF32 && cm.Size() > 1 {
+		ch.Data32 = sparse.Narrow32(sel.Values)
+	} else {
+		ch.Data = append([]float64(nil), sel.Values...)
 	}
+	return ch
 }
 
 // TopkA is the allgather-based sparse allreduce [36, 47].
@@ -159,7 +214,7 @@ func (*TopkA) OverlapsBackward() bool { return false }
 func (a *TopkA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Result {
 	k := a.cfg.KFor(len(acc))
 	a.sel, a.thScratch = localTopkInto(cm, a.cfg, acc, k, a.thScratch, a.sel)
-	mine := freshChunk(a.sel)
+	mine := freshChunk(cm, a.sel)
 	update, nz := a.gs.gatherAndSum(cm, mine, len(acc))
 	return allreduce.Result{
 		Update:      update,
@@ -209,7 +264,7 @@ func (g *Gaussiank) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.
 		th = adjTh
 	}
 	g.sel = sparse.FromDenseThresholdInto(g.sel, acc, th)
-	mine := freshChunk(g.sel)
+	mine := freshChunk(cm, g.sel)
 	update, nz := g.gs.gatherAndSum(cm, mine, len(acc))
 	return allreduce.Result{
 		Update:      update,
@@ -277,7 +332,7 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 	if p&(p-1) != 0 {
 		// Non-power-of-two: degrade to the allgather schedule, as
 		// SparCML's fallback does.
-		update, nz := d.gs.gatherAndSum(cm, freshChunk(mine), n)
+		update, nz := d.gs.gatherAndSum(cm, freshChunk(cm, mine), n)
 		d.fillSum += float64(nz) / float64(n)
 		d.fillCount++
 		return allreduce.Result{Update: update, Contributed: localIdx, LocalK: mine.NNZ(), GlobalK: nz}
@@ -298,21 +353,23 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		out := slicePooled(&d.pool, cur, int32(sendLo), int32(sendHi))
-		// Dynamic format switch: ship whichever representation is
-		// smaller for this piece — COO (2·nnz) or dense (width).
-		words := cooWords(out.NNZ())
-		if w := sendHi - sendLo; words > w {
-			words = w
+		start, end := rangeBounds(cur, int32(sendLo), int32(sendHi))
+		// Dynamic format switch: account whichever representation is
+		// smaller for this piece — COO (2·nnz elements) or dense (width
+		// elements) — under the active wire mode.
+		elems := 2 * (end - start)
+		if w := sendHi - sendLo; elems > w {
+			elems = w
 		}
-		cm.Send(partner, tagDSA+s, out, words)
-		in := cm.Recv(partner, tagDSA+s).(*sparse.Vec)
+		sendVecChunk(cm, partner, tagDSA+s,
+			cur.Indexes[start:end], cur.Values[start:end], cm.Wire().Words(elems))
+		in := recvVecChunk(cm, &d.pool, partner, tagDSA+s, n)
 		kept := slicePooled(&d.pool, cur, int32(keepLo), int32(keepHi))
 		cm.Clock().Compute(float64(kept.NNZ() + in.NNZ()))
 		if dist > 1 {
 			// Intermediate level: merge into ping-pong scratch (the
-			// previous level's cur is fully consumed by the two
-			// slicePooled copies above).
+			// previous level's cur is fully consumed by the wire copy
+			// and the kept slicePooled copy above).
 			if d.mergeA == nil {
 				d.mergeA, d.mergeB = sparse.New(n), sparse.New(n)
 			}
@@ -330,10 +387,15 @@ func (d *TopkDSA) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Re
 
 	// Allgatherv of the owned reduced pieces (COO accounting; a dense
 	// fallback would only matter past ~50% piece density, which the
-	// recursive-halving phase already handled).
+	// recursive-halving phase already handled). The fan-out payload is
+	// fresh in wire format; on the f32 wire every rank — the owner
+	// included — reads the same rounded values.
+	final := collectives.Chunk{Data: cur.Values, Aux: cur.Indexes}
+	if cm.Wire() == cluster.WireF32 && p > 1 {
+		final = collectives.Chunk{Data32: sparse.Narrow32(cur.Values), Aux: cur.Indexes}
+	}
 	gs := &d.gs
-	gs.chunks = collectives.AllgathervInto(cm,
-		collectives.Chunk{Data: cur.Values, Aux: cur.Indexes}, gs.chunks)
+	gs.chunks = collectives.AllgathervInto(cm, final, gs.chunks)
 	update, nz := gs.sumChunks(n)
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 	d.fillSum += float64(nz) / float64(n)
@@ -406,12 +468,13 @@ func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Resu
 	sent := false
 	for dist := 1; dist < p; dist *= 2 {
 		if rank&dist != 0 {
-			cm.Send(rank&^dist, tagGTopk+dist, pooledCopy(&g.pool, cur), cooWords(cur.NNZ()))
+			sendVecChunk(cm, rank&^dist, tagGTopk+dist, cur.Indexes, cur.Values,
+				cooWireWords(cm, cur.NNZ()))
 			sent = true
 			break
 		}
 		if rank|dist < p {
-			in := cm.Recv(rank|dist, tagGTopk+dist).(*sparse.Vec)
+			in := recvVecChunk(cm, &g.pool, rank|dist, tagGTopk+dist, n)
 			cm.Clock().Compute(float64(cur.NNZ() + in.NNZ()))
 			merged := sparse.AddTo(g.mergeA, cur, in)
 			g.mergeA, g.mergeB = g.mergeB, g.mergeA
@@ -427,13 +490,19 @@ func (g *GTopk) Reduce(cm cluster.Endpoint, acc []float64, t int) allreduce.Resu
 		}
 	}
 	// Broadcast the final global top-k down the mirrored tree. Every hop
-	// carries an owned pool copy, so no backing array is ever shared
+	// carries owned wire buffers, so no backing array is ever shared
 	// between ranks.
 	if sent {
-		cur = cm.Recv(parentOf(rank, p), tagGTopk+(1<<20)).(*sparse.Vec)
+		cur = recvVecChunk(cm, &g.pool, parentOf(rank, p), tagGTopk+(1<<20), n)
+	} else if p > 1 {
+		// Root: round the final set through the wire precision before it
+		// fans out, so every rank applies bit-identical values. (At P=1
+		// nothing fans out and nothing is rounded.)
+		cm.Wire().Round(cur.Values)
 	}
 	for _, child := range childrenOf(rank, p) {
-		cm.Send(child, tagGTopk+(1<<20), pooledCopy(&g.pool, cur), cooWords(cur.NNZ()))
+		sendVecChunk(cm, child, tagGTopk+(1<<20), cur.Indexes, cur.Values,
+			cooWireWords(cm, cur.NNZ()))
 	}
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
 

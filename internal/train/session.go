@@ -90,6 +90,12 @@ type Config struct {
 	Net         netmodel.Params
 	NoBetaScale bool
 
+	// Wire selects the collective wire format: the default WireF64
+	// (8-byte values, the seed behavior) or WireF32 (float32 values
+	// rounded at the send edge, half-word accounting — the paper's
+	// systems ship float32 gradients). Compute stays float64 either way.
+	Wire cluster.Wire
+
 	// CaptureAcc enables per-iteration accumulator capture (ξ studies).
 	CaptureAcc bool
 }
@@ -140,7 +146,7 @@ func NewSession(cfg Config) *Session {
 		cfg.Reduce.SortFlops *= ratio
 		cfg.Reduce.ScanFlops *= ratio
 	}
-	s := &Session{Cfg: cfg, Cluster: cluster.New(cfg.P, net)}
+	s := &Session{Cfg: cfg, Cluster: cluster.NewWire(cfg.P, net, cfg.Wire)}
 	for r := 0; r < cfg.P; r++ {
 		var w Workload
 		if r == 0 {

@@ -45,13 +45,13 @@ func (ps *pointerSet) add(t *testing.T, where string, s any) {
 	ps.seen[p] = where
 }
 
-func runPooledAlgorithms(t *testing.T, p int) {
+func runPooledAlgorithms(t *testing.T, p int, wire cluster.Wire) {
 	t.Helper()
 	n, k := 20000, 200
 	cfg := allreduce.Config{K: k, TauPrime: 4, Tau: 4}
 	grads := experiments.SyntheticGradients(123, p, n, k, 0.5)
 
-	c := cluster.New(p, netmodel.PizDaint())
+	c := cluster.NewWire(p, netmodel.PizDaint(), wire)
 	kinds := []string{"OkTopk", "TopkDSA", "gTopk", "Dense"}
 	algos := make(map[string][]allreduce.Algorithm, len(kinds))
 	for _, name := range kinds {
@@ -87,9 +87,12 @@ func runPooledAlgorithms(t *testing.T, p int) {
 	// owner could still observe it.
 	ps := newPointerSet()
 	for r := 0; r < p; r++ {
-		floats, ints := c.PooledBuffers(r)
+		floats, floats32, ints := c.PooledBuffers(r)
 		for i, s := range floats {
 			ps.add(t, fmt.Sprintf("cluster rank %d float buffer %d", r, i), s)
+		}
+		for i, s := range floats32 {
+			ps.add(t, fmt.Sprintf("cluster rank %d float32 buffer %d", r, i), s)
 		}
 		for i, s := range ints {
 			ps.add(t, fmt.Sprintf("cluster rank %d int32 buffer %d", r, i), s)
@@ -136,13 +139,15 @@ func runPooledAlgorithms(t *testing.T, p int) {
 }
 
 // TestPayloadOwnershipNoAliasing drives the pooled collective stack at
-// several cluster sizes up to P=32 and asserts the ownership-transfer
-// invariants above.
+// several cluster sizes up to P=32, in every wire mode under test, and
+// asserts the ownership-transfer invariants above.
 func TestPayloadOwnershipNoAliasing(t *testing.T) {
-	for _, p := range []int{2, 8, 32} {
-		p := p
-		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
-			runPooledAlgorithms(t, p)
-		})
+	for _, wire := range testWireModes(t) {
+		for _, p := range []int{2, 8, 32} {
+			wire, p := wire, p
+			t.Run(fmt.Sprintf("wire=%s/P=%d", wire, p), func(t *testing.T) {
+				runPooledAlgorithms(t, p, wire)
+			})
+		}
 	}
 }

@@ -1,0 +1,158 @@
+package repro
+
+// Wire-mode tests: the f32 wire must (a) halve the accounted words of
+// every collective, (b) stay within the same steady-state allocation
+// budgets (alloc_test.go) and ownership invariants (ownership_test.go),
+// and (c) drift from the f64 results only by float32 rounding — tiny
+// perturbations on commonly selected values plus rare selection flips
+// at the top-k threshold boundary.
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/allreduce"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/netmodel"
+	"repro/internal/train"
+)
+
+// testWireModes returns the wire modes the suite exercises: both by
+// default, or the single mode named by OKTOPK_WIRE (the CI matrix sets
+// f64 and f32 in separate jobs).
+func testWireModes(tb testing.TB) []cluster.Wire {
+	switch env := os.Getenv("OKTOPK_WIRE"); env {
+	case "":
+		return []cluster.Wire{cluster.WireF64, cluster.WireF32}
+	default:
+		w, err := cluster.ParseWire(env)
+		if err != nil {
+			tb.Fatalf("OKTOPK_WIRE: %v", err)
+		}
+		return []cluster.Wire{w}
+	}
+}
+
+// reduceOnce runs two iterations (warm-up + measured) of the named
+// algorithm under the given wire mode and returns the per-rank results
+// of the measured iteration plus the total words sent during it.
+func reduceOnce(t *testing.T, name string, wire cluster.Wire, p, n, k int) ([]allreduce.Result, int64) {
+	t.Helper()
+	cfg := allreduce.Config{K: k, TauPrime: 2, Tau: 2}
+	grads := experiments.SyntheticGradients(321, p, n, k, 0.4)
+	algos := make([]allreduce.Algorithm, p)
+	for i := range algos {
+		algos[i] = train.NewAlgorithm(name, cfg)
+	}
+	c := cluster.NewWire(p, netmodel.PizDaint(), wire)
+	results := make([]allreduce.Result, p)
+	for it := 1; it <= 2; it++ {
+		if it == 2 {
+			c.ResetClocks()
+		}
+		if err := c.Run(func(cm *cluster.Comm) error {
+			res := algos[cm.Rank()].Reduce(cm, grads[cm.Rank()], it)
+			if it == 2 {
+				// Results are instance scratch; copy what the checks read.
+				results[cm.Rank()] = allreduce.Result{
+					Update:  append([]float64(nil), res.Update...),
+					All:     res.All,
+					GlobalK: res.GlobalK,
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var words int64
+	for _, s := range c.Stats() {
+		words += s.SentWords
+	}
+	return results, words
+}
+
+// TestWireF32HalvesWords: the f32 wire must cut every algorithm's
+// steady-state traffic to ≈half the f64 words (ceil rounding and the
+// α-only size exchanges keep it a hair above exactly 0.5).
+func TestWireF32HalvesWords(t *testing.T) {
+	p, n, k := 8, 20000, 200
+	for _, algo := range train.AlgorithmNames {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			_, w64 := reduceOnce(t, algo, cluster.WireF64, p, n, k)
+			_, w32 := reduceOnce(t, algo, cluster.WireF32, p, n, k)
+			ratio := float64(w32) / float64(w64)
+			t.Logf("%s: %d words (f64) -> %d words (f32), ratio %.3f", algo, w64, w32, ratio)
+			if ratio > 0.55 || ratio < 0.45 {
+				t.Fatalf("%s: f32 wire words ratio %.3f, want ≈0.5", algo, ratio)
+			}
+		})
+	}
+}
+
+// TestWireF32NoRoundingAtP1: with a single rank nothing ever crosses a
+// wire, so the f32 mode must leave every algorithm's result
+// bit-identical to the f64 run (no edge, no rounding).
+func TestWireF32NoRoundingAtP1(t *testing.T) {
+	for _, algo := range train.AlgorithmNames {
+		r64, _ := reduceOnce(t, algo, cluster.WireF64, 1, 5000, 100)
+		r32, _ := reduceOnce(t, algo, cluster.WireF32, 1, 5000, 100)
+		for i := range r64[0].Update {
+			if r64[0].Update[i] != r32[0].Update[i] {
+				t.Fatalf("%s: P=1 f32 result differs from f64 at index %d", algo, i)
+			}
+		}
+	}
+}
+
+// TestWireF32Drift bounds the result difference between the two wire
+// modes: values selected in both runs may differ only by accumulated
+// float32 rounding, and set membership may flip only for the rare
+// values sitting within rounding distance of a top-k threshold.
+func TestWireF32Drift(t *testing.T) {
+	p, n, k := 8, 20000, 200
+	for _, algo := range train.AlgorithmNames {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			r64, _ := reduceOnce(t, algo, cluster.WireF64, p, n, k)
+			r32, _ := reduceOnce(t, algo, cluster.WireF32, p, n, k)
+			// All ranks hold identical updates within one mode (asserted
+			// exactly by the ownership test); compare rank 0's.
+			u64, u32 := r64[0].Update, r32[0].Update
+			if len(u64) != len(u32) {
+				t.Fatalf("update lengths differ: %d vs %d", len(u64), len(u32))
+			}
+			changed, flips := 0, 0
+			for i := range u64 {
+				a, b := u64[i], u32[i]
+				if a != b {
+					changed++
+				}
+				if (a == 0) != (b == 0) {
+					// Selection flip at a top-k threshold boundary; only
+					// the sparse algorithms may have any.
+					flips++
+					continue
+				}
+				if d := math.Abs(a - b); d > 1e-5*math.Max(1, math.Abs(a)) {
+					t.Fatalf("index %d drifts beyond rounding: f64=%g f32=%g", i, a, b)
+				}
+			}
+			t.Logf("%s: %d/%d entries perturbed, %d selection flips (GlobalK=%d)",
+				algo, changed, len(u64), flips, r64[0].GlobalK)
+			if changed == 0 {
+				t.Fatalf("%s: f32 wire left the result bit-identical — rounding never happened", algo)
+			}
+			maxFlips := r64[0].GlobalK / 50 // ≤2% of the selected set
+			if r64[0].All {
+				maxFlips = 0
+			}
+			if flips > maxFlips {
+				t.Fatalf("%s: %d selection flips, want ≤%d", algo, flips, maxFlips)
+			}
+		})
+	}
+}
