@@ -155,6 +155,19 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// BenchmarkOverlapAblation is the DenseOvlp bucket-pipeline sweep (the
+// ovlp runner) at smoke size: one workload, two bucket depths, showing
+// the simulated overlap engine's hidden-fraction signal end to end.
+func BenchmarkOverlapAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.OverlapAblation("VGG", 8, 16, 5, []int{1, 8})
+		if len(pts) > 0 {
+			b.ReportMetric(pts[len(pts)-1].HiddenFrac*100, "hidden-%")
+			b.ReportMetric(pts[len(pts)-1].ExposedComm*1e3, "exposed-sim-ms")
+		}
+	}
+}
+
 // BenchmarkFigure10 is the LSTM weak-scaling panel (paper: P=32, 64).
 func BenchmarkFigure10(b *testing.B) {
 	for _, p := range []int{8, 16} {

@@ -15,6 +15,11 @@
 // -wire {f64,f32} selects the collective wire format: running the same
 // experiment in both modes yields the paired fidelity rows recorded in
 // EXPERIMENTS.md (the paper's systems ship float32 gradients).
+// -overlap {sim,legacy} selects DenseOvlp's overlap model — the
+// simulated bucket pipeline (default) or the historical scalar
+// discount — for paired before/after rows. -trace DIR records each
+// training configuration's final-iteration message trace into DIR for
+// offline analysis.
 //
 // The default scale finishes in minutes on a laptop; -full uses the
 // paper's cluster sizes and longer runs.
@@ -31,6 +36,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 var (
@@ -43,6 +49,10 @@ var (
 		"tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
 	wire = flag.String("wire", "f64",
 		"collective wire format: f64 (seed behavior) or f32 (float32 values, half-word accounting)")
+	overlap = flag.String("overlap", "sim",
+		"DenseOvlp overlap model: sim (bucket pipeline simulated against the backward schedule) or legacy (pre-engine scalar discount)")
+	traceDir = flag.String("trace", "",
+		"directory to record per-configuration message traces into (final training iteration of each weak-scaling/convergence config)")
 )
 
 func scale() experiments.Scale {
@@ -69,6 +79,13 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetWire(w)
+	om, err := train.ParseOverlapMode(*overlap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.SetOverlapMode(om)
+	experiments.SetTraceDir(*traceDir)
 	id := flag.Arg(0)
 	switch id {
 	case "list":

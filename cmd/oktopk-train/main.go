@@ -3,6 +3,18 @@
 // breakdown:
 //
 //	oktopk-train -workload VGG -algo OkTopk -p 16 -iters 200 -density 0.02
+//
+// Long convergence studies can stop and resume: -checkpoint FILE saves
+// the full training state (parameters, residuals, Adam moments,
+// iteration counter) every -ckpt-every iterations and at exit, and
+// -resume FILE restores a previous checkpoint and continues to -iters.
+// The continuation reproduces the uninterrupted trajectory bit-for-bit
+// when the checkpoint falls on a τ/τ′ boundary (pick -ckpt-every as a
+// multiple of both periods; sparse algorithms re-evaluate thresholds
+// and region boundaries there, so no unserialized selection state is
+// lost). The modeled-time column counts iterations run by this
+// process. -trace FILE records the final iteration's message trace
+// (per-rank summary plus timeline) for offline analysis.
 package main
 
 import (
@@ -11,9 +23,11 @@ import (
 	"os"
 
 	"repro/internal/allreduce"
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/netmodel"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/train"
 )
 
@@ -34,10 +48,20 @@ func main() {
 		commodity = flag.Bool("commodity", false, "use commodity-cloud network constants")
 		workers   = flag.Int("workers", 0, "tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
 		wire      = flag.String("wire", "f64", "collective wire format: f64 (seed behavior) or f32 (float32 values, half-word accounting)")
+		overlap   = flag.String("overlap", "sim", "DenseOvlp overlap model: sim (simulated bucket pipeline) or legacy (scalar discount)")
+		traceFile = flag.String("trace", "", "record the final iteration's message trace to this file")
+		ckptFile  = flag.String("checkpoint", "", "save training state to this file (periodically and at exit)")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N iterations (0 = only at exit; needs -checkpoint)")
+		resume    = flag.String("resume", "", "restore a -checkpoint file and continue the run to -iters")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 	wm, err := cluster.ParseWire(*wire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	om, err := train.ParseOverlapMode(*overlap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -52,6 +76,7 @@ func main() {
 		LR:        *lr,
 		Adam:      *adam || *workload == "BERT",
 		Wire:      wm,
+		Overlap:   om,
 		Reduce: allreduce.Config{
 			Density: *density, Tau: *tau, TauPrime: *tauPrime,
 		},
@@ -70,11 +95,43 @@ func main() {
 		cfg.Net = netmodel.Commodity()
 	}
 	s := train.NewSession(cfg)
+	startIter := 1
+	if *resume != "" {
+		ck, err := checkpoint.LoadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.SkipTo(ck.Iteration)
+		if err := s.Restore(ck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		startIter = ck.Iteration + 1
+		fmt.Printf("resumed %s/%s from %s at iteration %d\n", *workload, *algo, *resume, ck.Iteration)
+	}
 	fmt.Printf("training %s with %s on %d workers (n=%d, k=%d, batch=%d/worker)\n",
 		*workload, *algo, *p, s.N(), cfg.Reduce.KFor(s.N()), *batch)
 
+	save := func() {
+		if *ckptFile == "" {
+			return
+		}
+		if err := s.Checkpoint().SaveFile(*ckptFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	var rec *trace.Recorder
 	var elapsed float64
-	for it := 1; it <= *iters; it++ {
+	for it := startIter; it <= *iters; it++ {
+		if *traceFile != "" && it == *iters {
+			// Record only the final iteration: the steady-state schedule
+			// every iteration repeats, without the warm-up's threshold
+			// and boundary evaluations.
+			rec = trace.NewRecorder()
+			s.Cluster.SetRecorder(rec)
+		}
 		st := s.RunIteration()
 		elapsed += st.IterSeconds
 		if it%*evalEvery == 0 || it == *iters {
@@ -83,6 +140,27 @@ func main() {
 				"[comp %.3fs spars %.3fs comm %.3fs]\n",
 				it, elapsed, st.Loss, s.MetricName(), metric,
 				st.Phase[0], st.Phase[1], st.Phase[2])
+		}
+		if *ckptEvery > 0 && it%*ckptEvery == 0 && it != *iters {
+			save()
+		}
+	}
+	save()
+	if rec != nil {
+		s.Cluster.SetRecorder(nil)
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(f, "message trace: %s/%s P=%d iteration %d (%d events)\n\n",
+			*workload, *algo, *p, *iters, rec.Len())
+		rec.WriteSummary(f, *p)
+		fmt.Fprintln(f)
+		rec.WriteTimeline(f, 4000)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if d := s.ReplicaDivergence(); d != 0 {

@@ -50,6 +50,16 @@
 // setting. See DESIGN.md's "wire format" section and the paired
 // f64/f32 tables in EXPERIMENTS.md.
 //
+// The Dense(Ovlp) baseline's backward/communication overlap is
+// simulated from first principles rather than discounted: models
+// expose per-layer backward schedules (nn.LayerCost), netmodel clocks
+// grow a two-track overlap window, and the trainer issues each
+// gradient bucket's allreduce the moment its last contributing layer
+// finishes backward (-overlap {sim,legacy} on both commands; DESIGN.md
+// "Overlap engine"). Message traces and checkpoint/resume are wired
+// into both commands (-trace, and -checkpoint/-ckpt-every/-resume on
+// oktopk-train).
+//
 // The benchmarks in bench_test.go regenerate each table/figure regime
 // under `go test -bench`; see DESIGN.md for the per-experiment index and
 // EXPERIMENTS.md for paper-vs-measured results.

@@ -10,6 +10,8 @@
 package allreduce
 
 import (
+	"fmt"
+
 	"repro/internal/cluster"
 	"repro/internal/collectives"
 	"repro/internal/netmodel"
@@ -51,10 +53,37 @@ type Result struct {
 type Algorithm interface {
 	Name() string
 	// OverlapsBackward reports whether the implementation overlaps its
-	// communication with backward computation (DenseOvlp); the training
-	// loop discounts exposed communication time accordingly.
+	// communication with backward computation (DenseOvlp). Such
+	// algorithms also implement Overlapped; the training loop drives
+	// their reduction bucket by bucket against the backward schedule
+	// (or, in legacy mode, applies the historical scalar discount).
 	OverlapsBackward() bool
 	Reduce(cm cluster.Endpoint, acc []float64, t int) Result
+}
+
+// Overlapped is implemented by algorithms whose reduction can be
+// pipelined bucket by bucket against the backward pass. The training
+// loop splits one logical Reduce into Buckets(n) IssueBucket calls —
+// each launched, inside a netmodel overlap window, the moment the last
+// layer contributing to that bucket finishes its backward — followed by
+// one DrainOverlap that completes the reduction and assembles the
+// Result. All ranks must issue the same buckets in the same order
+// (IssueBucket is collective), and every bucket must be issued exactly
+// once before DrainOverlap. Reduce remains available as the monolithic,
+// non-pipelined path and computes bit-identical sums.
+type Overlapped interface {
+	Algorithm
+	// Buckets returns the number of pipeline buckets used for a gradient
+	// of n components.
+	Buckets(n int) int
+	// BucketBounds returns bucket b's half-open [lo, hi) range in the
+	// flat gradient vector. Buckets tile [0, n) in index order.
+	BucketBounds(n, b int) (lo, hi int)
+	// IssueBucket launches bucket b's reduction of acc[lo:hi).
+	IssueBucket(cm cluster.Endpoint, acc []float64, b int)
+	// DrainOverlap completes the pipelined reduction and returns the
+	// Result (same ownership contract as Reduce).
+	DrainOverlap(cm cluster.Endpoint, acc []float64, t int) Result
 }
 
 // Config carries the knobs shared by the sparse algorithms. Zero values
@@ -189,36 +218,70 @@ func (d *Dense) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
 }
 
 // DenseOvlp is the bucketed dense allreduce: the gradient is cut into
-// DenseBuckets chunks, each reduced by its own allreduce so that, in the
-// real system, bucket i's communication overlaps the backward computation
-// that produces bucket i+1. The training loop models that overlap by
-// discounting exposed communication (OverlapsBackward).
+// DenseBuckets chunks, each reduced by its own allreduce so that bucket
+// i's communication overlaps the backward computation that produces
+// bucket i+1. The training loop drives that pipeline through the
+// Overlapped interface (IssueBucket inside a netmodel overlap window);
+// Reduce remains the monolithic path used by legacy overlap mode and
+// volume measurements, producing bit-identical sums.
 type DenseOvlp struct {
-	cfg Config
-	sum []float64
+	cfg    Config
+	sum    []float64
+	issued int
 }
 
 // NewDenseOvlp returns the overlapped dense baseline.
 func NewDenseOvlp(cfg Config) *DenseOvlp { return &DenseOvlp{cfg: cfg.Defaults()} }
 
+var _ Overlapped = (*DenseOvlp)(nil)
+
 func (*DenseOvlp) Name() string           { return "DenseOvlp" }
 func (*DenseOvlp) OverlapsBackward() bool { return true }
 
-// Reduce sums acc across all ranks with bucketed allreduces.
-func (d *DenseOvlp) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
-	cm.Clock().SetPhase(netmodel.PhaseComm)
-	sum := tensor.Ensure(d.sum, len(acc))
-	d.sum = sum
-	copy(sum, acc)
+// Buckets returns the pipeline depth for n gradient components.
+func (d *DenseOvlp) Buckets(n int) int {
 	nb := d.cfg.DenseBuckets
-	if nb > len(sum) {
-		nb = len(sum)
+	if nb > n {
+		nb = n
 	}
-	for b := 0; b < nb; b++ {
-		lo := b * len(sum) / nb
-		hi := (b + 1) * len(sum) / nb
-		collectives.Allreduce(cm, sum[lo:hi])
+	return nb
+}
+
+// BucketBounds returns bucket b's [lo, hi) slice of the flat vector.
+func (d *DenseOvlp) BucketBounds(n, b int) (lo, hi int) {
+	nb := d.Buckets(n)
+	return b * n / nb, (b + 1) * n / nb
+}
+
+// IssueBucket launches bucket b's allreduce over acc[lo:hi). Collective:
+// all ranks must issue the same buckets in the same order.
+func (d *DenseOvlp) IssueBucket(cm cluster.Endpoint, acc []float64, b int) {
+	cm.Clock().SetPhase(netmodel.PhaseComm)
+	if d.issued == 0 {
+		d.sum = tensor.Ensure(d.sum, len(acc))
 	}
+	lo, hi := d.BucketBounds(len(acc), b)
+	copy(d.sum[lo:hi], acc[lo:hi])
+	collectives.Allreduce(cm, d.sum[lo:hi])
+	d.issued++
+}
+
+// DrainOverlap completes the pipelined reduction after every bucket was
+// issued and returns the Result.
+func (d *DenseOvlp) DrainOverlap(cm cluster.Endpoint, acc []float64, t int) Result {
+	if nb := d.Buckets(len(acc)); d.issued != nb {
+		panic(fmt.Sprintf("allreduce: DenseOvlp drained after %d of %d buckets", d.issued, nb))
+	}
+	d.issued = 0
 	cm.Clock().SetPhase(netmodel.PhaseCompute)
-	return Result{Update: sum, All: true, LocalK: len(acc), GlobalK: len(acc)}
+	return Result{Update: d.sum, All: true, LocalK: len(acc), GlobalK: len(acc)}
+}
+
+// Reduce sums acc across all ranks with bucketed allreduces, issued
+// back to back (no overlap window).
+func (d *DenseOvlp) Reduce(cm cluster.Endpoint, acc []float64, t int) Result {
+	for b := 0; b < d.Buckets(len(acc)); b++ {
+		d.IssueBucket(cm, acc, b)
+	}
+	return d.DrainOverlap(cm, acc, t)
 }

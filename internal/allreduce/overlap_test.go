@@ -1,0 +1,106 @@
+package allreduce
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/tensor"
+)
+
+func testGrads(p, n int) [][]float64 {
+	grads := make([][]float64, p)
+	for r := range grads {
+		rng := tensor.RNG(int64(100 + r))
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		grads[r] = g
+	}
+	return grads
+}
+
+// TestDenseOvlpBucketBoundsTile: buckets partition the vector exactly,
+// at counts above, below and equal to n.
+func TestDenseOvlpBucketBoundsTile(t *testing.T) {
+	for _, tc := range []struct{ n, buckets int }{{100, 8}, {7, 3}, {5, 8}, {1, 8}} {
+		d := NewDenseOvlp(Config{DenseBuckets: tc.buckets})
+		nb := d.Buckets(tc.n)
+		if nb > tc.n {
+			t.Fatalf("n=%d: %d buckets exceed the vector", tc.n, nb)
+		}
+		off := 0
+		for b := 0; b < nb; b++ {
+			lo, hi := d.BucketBounds(tc.n, b)
+			if lo != off || hi <= lo {
+				t.Fatalf("n=%d bucket %d: [%d,%d) does not continue from %d", tc.n, b, lo, hi, off)
+			}
+			off = hi
+		}
+		if off != tc.n {
+			t.Fatalf("n=%d: buckets cover %d", tc.n, off)
+		}
+	}
+}
+
+// TestDenseOvlpPipelinedMatchesReduce: issuing the buckets one by one
+// in descending order (the backward pipeline's order) and draining
+// yields bit-identical sums to the monolithic Reduce.
+func TestDenseOvlpPipelinedMatchesReduce(t *testing.T) {
+	p, n := 4, 1003
+	grads := testGrads(p, n)
+	run := func(pipelined bool) [][]float64 {
+		algos := make([]*DenseOvlp, p)
+		for i := range algos {
+			algos[i] = NewDenseOvlp(Config{})
+		}
+		c := cluster.New(p, netmodel.PizDaint())
+		out := make([][]float64, p)
+		if err := c.Run(func(cm *cluster.Comm) error {
+			a := algos[cm.Rank()]
+			acc := append([]float64(nil), grads[cm.Rank()]...)
+			var res Result
+			if pipelined {
+				for b := a.Buckets(n) - 1; b >= 0; b-- {
+					a.IssueBucket(cm, acc, b)
+				}
+				res = a.DrainOverlap(cm, acc, 1)
+			} else {
+				res = a.Reduce(cm, acc, 1)
+			}
+			if !res.All || res.GlobalK != n {
+				t.Errorf("rank %d: unexpected result meta %+v", cm.Rank(), res)
+			}
+			out[cm.Rank()] = append([]float64(nil), res.Update...)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	mono := run(false)
+	pipe := run(true)
+	for r := range mono {
+		for i := range mono[r] {
+			if mono[r][i] != pipe[r][i] {
+				t.Fatalf("rank %d diverges at %d: %v vs %v", r, i, mono[r][i], pipe[r][i])
+			}
+		}
+	}
+}
+
+// TestDenseOvlpDrainRequiresAllBuckets: draining a partial pipeline is
+// a bug, not a silent partial sum.
+func TestDenseOvlpDrainRequiresAllBuckets(t *testing.T) {
+	c := cluster.New(1, netmodel.PizDaint())
+	d := NewDenseOvlp(Config{})
+	acc := make([]float64, 100)
+	d.IssueBucket(c.Comm(0), acc, 7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partial drain did not panic")
+		}
+	}()
+	d.DrainOverlap(c.Comm(0), acc, 1)
+}

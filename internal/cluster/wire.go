@@ -65,6 +65,16 @@ func NarrowInto(dst []float32, src []float64) {
 	}
 }
 
+// WidenInto widens src into the equal-length dst — NarrowInto's
+// receive-edge inverse, shared by every f32 wire consumer that copies
+// a payload back to compute precision (accumulating receivers fuse
+// the widening into their own add loop).
+func WidenInto(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
 // Round rounds x through the wire precision in place: a no-op on the
 // f64 wire, float64(float32(v)) per element on the f32 wire. Collective
 // algorithms apply it to data they keep locally but also transmit (the

@@ -80,9 +80,7 @@ func recvCopy(cm cluster.Endpoint, src, tag int, dst []float64) {
 	if cm.Wire() == cluster.WireF32 {
 		recv := cm.RecvFloat32(src, tag)
 		checkWireLen(len(recv), len(dst))
-		for i, v := range recv {
-			dst[i] = float64(v)
-		}
+		cluster.WidenInto(dst, recv)
 		cm.PutFloat32s(recv)
 		return
 	}
@@ -101,9 +99,7 @@ func recvWireFloats(cm cluster.Endpoint, src, tag int) []float64 {
 	if cm.Wire() == cluster.WireF32 {
 		recv := cm.RecvFloat32(src, tag)
 		out := cm.GetFloats(len(recv))
-		for i, v := range recv {
-			out[i] = float64(v)
-		}
+		cluster.WidenInto(out, recv)
 		cm.PutFloat32s(recv)
 		return out
 	}

@@ -67,6 +67,7 @@ func Convergence(cfg ConvergenceConfig) []Curve {
 			Adam:      adam,
 			Reduce:    allreduce.Config{Density: cfg.Density, TauPrime: 8, Tau: 8},
 			Wire:      wireMode,
+			Overlap:   overlapMode,
 		}
 		if adam {
 			tcfg.Schedule = func(t int) float64 {
@@ -81,7 +82,7 @@ func Convergence(cfg ConvergenceConfig) []Curve {
 		curve := Curve{Workload: cfg.Workload, Algorithm: algo, Metric: s.MetricName()}
 		var elapsed float64
 		var lastLoss float64
-		for it := 1; it <= cfg.Iters; it++ {
+		step := func(it int) {
 			st := s.RunIteration()
 			elapsed += st.IterSeconds
 			lastLoss = st.Loss
@@ -92,6 +93,12 @@ func Convergence(cfg ConvergenceConfig) []Curve {
 				})
 			}
 		}
+		for it := 1; it < cfg.Iters; it++ {
+			step(it)
+		}
+		traceFinalIteration(s, fmt.Sprintf("conv_%s_%s_P%d", cfg.Workload, algo, cfg.P), func() {
+			step(cfg.Iters)
+		})
 		curve.Final = curve.Points[len(curve.Points)-1]
 		out = append(out, curve)
 	}

@@ -248,6 +248,57 @@ func Registry() []Runner {
 		fig12Runner(),
 		convRunner("fig13", "BERT pre-training loss vs time", "BERT", 0.01,
 			[]string{"DenseOvlp", "Gaussiank", "OkTopk"}, true),
+		ovlpRunner(),
+	}
+}
+
+// ovlpRunner sweeps DenseOvlp's bucket count per workload, exposing the
+// imperfect-pipelining curve of the simulated backward/communication
+// overlap engine (plus the legacy scalar-discount row for the paired
+// before/after comparison).
+func ovlpRunner() Runner {
+	id := "ovlp"
+	buckets := []int{1, 2, 4, 8, 16}
+	return Runner{
+		ID: id, Desc: "DenseOvlp backward-overlap bucket-pipeline ablation",
+		Specs: func(sc Scale) []Spec {
+			var specs []Spec
+			for _, w := range []struct {
+				wl    string
+				batch int
+			}{{"VGG", 16}, {"LSTM", 2}, {"BERT", 8}} {
+				w := w
+				p := sc.WeakPs[w.wl][0]
+				specs = append(specs, Spec{
+					Runner: id, Config: fmt.Sprintf("%s P=%d", w.wl, p),
+					Run: func(Spec) Outcome {
+						pts := OverlapAblation(w.wl, p, w.batch, sc.WeakIters, buckets)
+						var ms []Metric
+						for _, pt := range pts {
+							ms = append(ms,
+								Metric{fmt.Sprintf("buckets=%d/exposed_s", pt.Buckets), pt.ExposedComm},
+								Metric{fmt.Sprintf("buckets=%d/hidden_frac", pt.Buckets), pt.HiddenFrac},
+							)
+						}
+						ms = append(ms,
+							Metric{"legacy/exposed_s", pts[0].LegacyExposed},
+							Metric{"legacy/total_s", pts[0].LegacyTotal},
+						)
+						return Outcome{Payload: pts, Metrics: ms}
+					},
+				})
+			}
+			return specs
+		},
+		Render: func(w io.Writer, rs []Result) {
+			for _, r := range rs {
+				if r.Err != nil {
+					fmt.Fprintf(w, "  %s: FAILED: %v\n", r.Spec.Config, r.Err)
+					continue
+				}
+				PrintOverlapAblation(w, r.Outcome.Payload.([]OverlapPoint))
+			}
+		},
 	}
 }
 

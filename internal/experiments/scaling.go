@@ -153,12 +153,13 @@ func WeakScaling(workload string, p, batch, iters int, density float64, algorith
 			Adam:      workload == "BERT",
 			Reduce:    allreduce.Config{Density: density, TauPrime: 8, Tau: 8},
 			Wire:      wireMode,
+			Overlap:   overlapMode,
 		}
 		s := train.NewSession(cfg)
 		const warm = 2
 		var sum Breakdown
 		count := 0
-		s.RunIterations(iters, func(st train.IterStats) {
+		cb := func(st train.IterStats) {
 			if st.Iter <= warm {
 				return
 			}
@@ -167,6 +168,13 @@ func WeakScaling(workload string, p, batch, iters int, density float64, algorith
 			sum.Comm += st.Phase[netmodel.PhaseComm]
 			sum.Total += st.IterSeconds
 			count++
+		}
+		s.RunIterations(iters-1, cb)
+		// The batch size disambiguates specs that share workload/algo/P
+		// (fig12's breakdown and parallel-efficiency specs run
+		// concurrently and must not write the same trace file).
+		traceFinalIteration(s, fmt.Sprintf("weak_%s_%s_P%d_b%d", workload, algo, p, batch), func() {
+			cb(s.RunIteration())
 		})
 		out = append(out, Breakdown{
 			Algorithm: algo, P: p,

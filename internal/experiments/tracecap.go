@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+// traceDir, when non-empty, makes every runner that trains a session
+// record the message trace of its final iteration and write a per-rank
+// summary plus timeline into the directory — the offline-analysis
+// artifact the -trace flag on cmd/oktopk-bench requests. Like wireMode
+// it is set once before RunSpecs; parallel specs write distinct files
+// (the name encodes workload/algorithm/P and, for weak-scaling
+// configs, the batch size that separates fig12's breakdown and
+// efficiency specs), and recording never touches the simulated
+// clocks, so traced runs render byte-identically.
+var traceDir string
+
+// SetTraceDir enables final-iteration trace capture into dir (empty
+// disables). Call before RunSpecs, never concurrently with one.
+func SetTraceDir(dir string) { traceDir = dir }
+
+// traceFinalIteration executes run — expected to advance the session by
+// its last iteration — under a recorder when tracing is enabled, then
+// writes the capture.
+func traceFinalIteration(s *train.Session, name string, run func()) {
+	if traceDir == "" {
+		run()
+		return
+	}
+	rec := trace.NewRecorder()
+	s.Cluster.SetRecorder(rec)
+	run()
+	s.Cluster.SetRecorder(nil)
+	writeTrace(rec, s.Cfg.P, name)
+}
+
+// writeTrace renders one recording as <traceDir>/<name>.trace. Failures
+// are reported on stderr but never fail the experiment: the trace is a
+// side artifact.
+func writeTrace(rec *trace.Recorder, p int, name string) {
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	san := strings.NewReplacer(" ", "_", "%", "", "=", "-", "/", "-").Replace(name)
+	f, err := os.Create(filepath.Join(traceDir, san+".trace"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "message trace: %s (final iteration, %d events)\n\n", name, rec.Len())
+	rec.WriteSummary(f, p)
+	fmt.Fprintln(f)
+	rec.WriteTimeline(f, 4000)
+}

@@ -102,6 +102,14 @@ type Clock struct {
 	phase     Phase
 	phaseTime [numPhases]float64
 
+	// Overlap-window state (see BeginOverlap): while a window is open,
+	// cpu is the communication track and ovComp the concurrent compute
+	// track; ovPhase snapshots attribution for the rewrite at EndOverlap.
+	inOverlap bool
+	ovStart   float64
+	ovComp    float64
+	ovPhase   [numPhases]float64
+
 	sentWords int64
 	recvWords int64
 	sentMsgs  int64
@@ -197,6 +205,106 @@ func (c *Clock) StampRecv(depart float64, words int) {
 // algorithms call it where a real implementation would wait on all
 // outstanding MPI requests.
 func (c *Clock) DrainSends() { c.advance(c.sendFree) }
+
+// Overlap window: a two-track region of simulated time in which local
+// computation (the backward pass) and communication (bucketed gradient
+// reductions) proceed concurrently, the way a real framework overlaps
+// allreduce traffic with the backward kernels that produce later
+// buckets.
+//
+// Between BeginOverlap and EndOverlap the clock splits into two tracks:
+//
+//   - the COMPUTE track (OverlapCompute / OverlapSleep) models the
+//     backward pass burning through its per-layer schedule; it never
+//     waits for communication;
+//   - the COMM track is the ordinary cpu/NIC machinery — StampSend,
+//     StampRecv and message-folding Compute charges advance it exactly
+//     as outside a window. OverlapReady pins it to the compute track
+//     before each issue: communication whose input a layer just
+//     produced cannot depart before that layer's backward finished.
+//
+// EndOverlap closes the window at T = max(compute, comm) and rewrites
+// the window's phase attribution from the two tracks: the compute track
+// went to PhaseCompute in full, and only the remainder the comm track
+// ran past the compute track — the EXPOSED communication — is charged
+// to PhaseComm. Communication that finished under the compute track
+// costs no wall time at all, which is precisely the overlap the
+// DenseOvlp baseline builds its bucket pipeline for. Attribution
+// recorded by in-window advances is discarded by the rewrite, so a
+// window must not contain work that should surface under PhaseSparsify.
+//
+// Windows interoperate with other ranks transparently: message stamps
+// carry absolute times, and a peer's recv simply waits until this
+// rank's comm track injected the data. Snapshot must not be taken
+// inside an open window.
+
+// BeginOverlap opens an overlap window at the current time. Windows do
+// not nest.
+func (c *Clock) BeginOverlap() {
+	if c.inOverlap {
+		panic("netmodel: BeginOverlap inside an open overlap window")
+	}
+	c.inOverlap = true
+	c.ovStart = c.cpu
+	c.ovComp = c.cpu
+	c.ovPhase = c.phaseTime
+}
+
+// InOverlap reports whether an overlap window is open.
+func (c *Clock) InOverlap() bool { return c.inOverlap }
+
+// OverlapCompute charges flops floating-point operations to the
+// window's compute track.
+func (c *Clock) OverlapCompute(flops float64) {
+	c.OverlapSleep(flops * c.params.Gamma)
+}
+
+// OverlapSleep charges a fixed duration of local work to the window's
+// compute track.
+func (c *Clock) OverlapSleep(seconds float64) {
+	if !c.inOverlap {
+		panic("netmodel: OverlapSleep outside an overlap window")
+	}
+	if seconds < 0 {
+		panic("netmodel: negative sleep")
+	}
+	c.ovComp += seconds
+}
+
+// OverlapReady synchronizes the comm track to the compute track: data
+// the compute track just finished producing cannot enter the network
+// earlier. Call it immediately before issuing the communication that
+// consumes the data. The wait itself is free — the rank is computing
+// through it on the other track.
+func (c *Clock) OverlapReady() {
+	if !c.inOverlap {
+		panic("netmodel: OverlapReady outside an overlap window")
+	}
+	if c.ovComp > c.cpu {
+		c.cpu = c.ovComp
+	}
+}
+
+// EndOverlap closes the window, advancing the clock to the later of the
+// two tracks and rewriting the window's attribution: the full compute
+// track under PhaseCompute, the exposed communication remainder under
+// PhaseComm.
+func (c *Clock) EndOverlap() {
+	if !c.inOverlap {
+		panic("netmodel: EndOverlap without BeginOverlap")
+	}
+	c.inOverlap = false
+	t := c.cpu
+	if c.ovComp > t {
+		t = c.ovComp
+	}
+	c.phaseTime = c.ovPhase
+	c.phaseTime[PhaseCompute] += c.ovComp - c.ovStart
+	if t > c.ovComp {
+		c.phaseTime[PhaseComm] += t - c.ovComp
+	}
+	c.cpu = t
+}
 
 // Stats is a snapshot of one rank's accounting.
 type Stats struct {

@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// runHybridWire executes iters steps on a cluster with the given wire
+// format, returning trainers, the cluster, and an optional recorder
+// attached for the final iteration.
+func runHybridWire(t *testing.T, cfg Config, wire cluster.Wire, iters int, record bool) ([]*Trainer, *cluster.Cluster, *trace.Recorder) {
+	t.Helper()
+	p := cfg.Stages * cfg.Replicas
+	c := cluster.NewWire(p, netmodel.PizDaint(), wire)
+	trainers := make([]*Trainer, p)
+	for r := range trainers {
+		trainers[r] = NewTrainer(cfg, r)
+	}
+	data := NewDataset(cfg.Seed+1, cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1])
+	var rec *trace.Recorder
+	for it := 1; it <= iters; it++ {
+		if record && it == iters {
+			rec = trace.NewRecorder()
+			c.SetRecorder(rec)
+		}
+		if err := c.Run(func(cm *cluster.Comm) error {
+			trainers[cm.Rank()].Step(cm, it, data)
+			return nil
+		}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	c.SetRecorder(nil)
+	return trainers, c, rec
+}
+
+// activationWords sums the recorded wire words of the inter-stage
+// activation tags (forward and backward), excluding gradient-reduction
+// traffic.
+func activationWords(rec *trace.Recorder, microbatches int) int {
+	words := 0
+	for _, e := range rec.Events() {
+		if e.Kind != trace.SendEvent {
+			continue
+		}
+		if (e.Tag >= tagActFwd && e.Tag < tagActFwd+microbatches) ||
+			(e.Tag >= tagActBwd && e.Tag < tagActBwd+microbatches) {
+			words += e.Words
+		}
+	}
+	return words
+}
+
+// TestPipelinePooledPayloadsKeepReplicasInSync: the pooled activation
+// path (ownership-transfer wire buffers + receiver-owned scratch Mats)
+// must preserve the data-parallel invariant on both wire formats, and
+// two identical runs must produce bit-identical parameters.
+func TestPipelinePooledPayloadsKeepReplicasInSync(t *testing.T) {
+	for _, wire := range []cluster.Wire{cluster.WireF64, cluster.WireF32} {
+		cfg := hybridConfig(3, 2, "OkTopk")
+		a, _, _ := runHybridWire(t, cfg, wire, 4, false)
+		b, _, _ := runHybridWire(t, cfg, wire, 4, false)
+		S, R := cfg.Stages, cfg.Replicas
+		for s := 0; s < S; s++ {
+			base := a[s].Params()
+			for r := 1; r < R; r++ {
+				p := a[r*S+s].Params()
+				for i := range base {
+					if p[i] != base[i] {
+						t.Fatalf("wire=%s: stage %d replica %d diverged at %d", wire, s, r, i)
+					}
+				}
+			}
+			rerun := b[s].Params()
+			for i := range base {
+				if rerun[i] != base[i] {
+					t.Fatalf("wire=%s: rerun diverged at stage %d param %d", wire, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineActivationWireF32HalvesWords: activation messages ride
+// the wire format — the f32 wire must halve their accounted words
+// exactly (activation payloads have even element counts here).
+func TestPipelineActivationWireF32HalvesWords(t *testing.T) {
+	cfg := hybridConfig(3, 1, "Dense")
+	_, _, rec64 := runHybridWire(t, cfg, cluster.WireF64, 2, true)
+	_, _, rec32 := runHybridWire(t, cfg, cluster.WireF32, 2, true)
+	w64 := activationWords(rec64, cfg.Microbatches)
+	w32 := activationWords(rec32, cfg.Microbatches)
+	if w64 == 0 {
+		t.Fatal("no activation traffic recorded")
+	}
+	ratio := float64(w32) / float64(w64)
+	t.Logf("activation words: %d (f64) -> %d (f32), ratio %.3f", w64, w32, ratio)
+	if ratio < 0.49 || ratio > 0.51 {
+		t.Fatalf("f32 wire activation ratio %.3f, want ≈0.5", ratio)
+	}
+}
+
+// TestPipelineSteadyStateAllocs guards the pooled activation path: the
+// steady-state hybrid step allocates only what data generation costs
+// (each of the 6 ranks draws 4 fresh microbatches and a per-microbatch
+// RNG) plus the runtime's goroutine spawns — ≈326 measured for the 3×2
+// grid, with NOTHING per activation hop; a reintroduced per-hop clone
+// or boxing allocation (16 hops × ≥2 allocs on this grid) trips the
+// 400 budget.
+func TestPipelineSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful under -short race mixes")
+	}
+	for _, wire := range []cluster.Wire{cluster.WireF64, cluster.WireF32} {
+		cfg := hybridConfig(3, 2, "Dense")
+		p := cfg.Stages * cfg.Replicas
+		c := cluster.NewWire(p, netmodel.PizDaint(), wire)
+		trainers := make([]*Trainer, p)
+		for r := range trainers {
+			trainers[r] = NewTrainer(cfg, r)
+		}
+		data := NewDataset(cfg.Seed+1, cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1])
+		it := 0
+		step := func() {
+			it++
+			if err := c.Run(func(cm *cluster.Comm) error {
+				trainers[cm.Rank()].Step(cm, it, data)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			step() // warm the pools and scratch
+		}
+		got := testing.AllocsPerRun(5, step)
+		t.Logf("hybrid steady-state allocs per step (%s wire): %.0f", wire, got)
+		if got > 400 {
+			t.Fatalf("hybrid step allocates %.0f on the %s wire, budget 400", got, wire)
+		}
+	}
+}

@@ -111,6 +111,19 @@ type Trainer struct {
 	algo     allreduce.Algorithm
 	residual []float64
 	acc      []float64
+
+	// Activation scratch: received microbatch inputs must survive until
+	// the backward phase recomputes from them, so each microbatch slot
+	// owns a matrix; activation gradients are consumed immediately and
+	// share one. Wire buffers themselves are pooled (see sendMat).
+	recvX  []*tensor.Mat
+	recvDy *tensor.Mat
+	stash  []*tensor.Mat
+
+	// The stage's data-parallel group is static; cache it per world
+	// communicator so the steady-state step does not rebuild it.
+	group      *cluster.Group
+	groupWorld *cluster.Comm
 }
 
 // StageWidths returns the widths slice of stage s (with overlap at the
@@ -167,6 +180,55 @@ const (
 	tagActBwd = 15 << 20
 )
 
+// sendMat ships a matrix to dst in the endpoint's wire format: a pooled
+// []float64 copy on the f64 wire, a pooled rounded []float32 copy at
+// half-word accounting on the f32 wire — the same ownership-transfer
+// protocol as the collectives' hops, so steady-state activation traffic
+// allocates nothing. The caller keeps m (layer outputs alias
+// per-instance scratch reused by the next microbatch's Forward; the
+// wire owns only the pooled copy).
+func sendMat(cm cluster.Endpoint, dst, tag int, m *tensor.Mat) {
+	n := len(m.Data)
+	if cm.Wire() == cluster.WireF32 {
+		buf := cm.GetFloat32s(n)
+		cluster.NarrowInto(buf, m.Data)
+		cm.SendFloat32s(dst, tag, buf, cluster.WireF32.Words(n))
+		return
+	}
+	buf := cm.GetFloats(n)
+	copy(buf, m.Data)
+	cm.SendFloats(dst, tag, buf, n)
+}
+
+// recvMat receives a rows×cols matrix into dst (grown as needed and
+// returned for the caller to keep), widening f32 wire payloads back to
+// compute precision and releasing the wire buffer into this rank's
+// pool. The shape is static per (stage, direction), which is what lets
+// the payload travel as a bare value buffer.
+func recvMat(cm cluster.Endpoint, src, tag, rows, cols int, dst *tensor.Mat) *tensor.Mat {
+	dst = tensor.EnsureMatUninit(dst, rows, cols)
+	if cm.Wire() == cluster.WireF32 {
+		recv := cm.RecvFloat32(src, tag)
+		if len(recv) != rows*cols {
+			panic(fmt.Sprintf("pipeline: activation payload %d != %d×%d", len(recv), rows, cols))
+		}
+		cluster.WidenInto(dst.Data, recv)
+		cm.PutFloat32s(recv)
+		return dst
+	}
+	recv := cm.RecvFloat64(src, tag)
+	if len(recv) != rows*cols {
+		panic(fmt.Sprintf("pipeline: activation payload %d != %d×%d", len(recv), rows, cols))
+	}
+	copy(dst.Data, recv)
+	cm.PutFloats(recv)
+	return dst
+}
+
+// inWidth and outWidth are the stage's activation boundary widths.
+func (tr *Trainer) inWidth() int  { return tr.stage.lin[0].In }
+func (tr *Trainer) outWidth() int { return tr.stage.lin[len(tr.stage.lin)-1].Out }
+
 // Step runs one hybrid training iteration (forward/backward over all
 // microbatches, stage-group gradient reduction, SGD update). All S·R
 // workers call it collectively with the same iteration number t and a
@@ -185,15 +247,18 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 	first := tr.stageIdx == 0
 	last := tr.stageIdx == S-1
 
-	type stash struct {
-		x *tensor.Mat
+	if len(tr.stash) < cfg.Microbatches {
+		tr.stash = make([]*tensor.Mat, cfg.Microbatches)
+		tr.recvX = make([]*tensor.Mat, cfg.Microbatches)
 	}
-	stashes := make([]stash, cfg.Microbatches)
 	var loss float64
 	var correct, total int
 
-	// GPipe schedule: all forwards, then all backwards. Activations are
-	// sent as (rows×cols) matrices; wire size = element count.
+	// GPipe schedule: all forwards, then all backwards. Activations
+	// cross stage boundaries as pooled wire value buffers (sendMat /
+	// recvMat — ownership transfer like every collective hop); the
+	// receiver widens into its own per-microbatch scratch, since stashed
+	// inputs must survive until the backward recomputation.
 	for m := 0; m < cfg.Microbatches; m++ {
 		// Each (replica, microbatch, iteration) triple gets its own
 		// deterministic sample; every stage of a column derives the same
@@ -205,16 +270,13 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 			in = x
 		} else {
 			clk.SetPhase(netmodel.PhaseComm)
-			in = cm.Recv(prevRank, tagActFwd+m).(*tensor.Mat)
+			tr.recvX[m] = recvMat(cm, prevRank, tagActFwd+m, cfg.MicrobatchSize, tr.inWidth(), tr.recvX[m])
+			in = tr.recvX[m]
 			clk.SetPhase(netmodel.PhaseCompute)
 		}
-		stashes[m].x = in
+		tr.stash[m] = in
 		out := tr.stage.Forward(in)
 		clk.Compute(flopsLinear(tr.stage, in.Rows))
-		// Layer outputs alias per-instance scratch reused by the next
-		// microbatch's Forward, so anything that crosses a rank boundary
-		// must be cloned: the wire owns its payload (same protocol as
-		// the collectives' pooled buffers).
 		if last {
 			l, c, dlogits := nn.SoftmaxCrossEntropy(out, y)
 			loss += l
@@ -224,30 +286,33 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 			clk.Compute(2 * flopsLinear(tr.stage, in.Rows))
 			if !first {
 				clk.SetPhase(netmodel.PhaseComm)
-				cm.Send(prevRank, tagActBwd+m, dxs.Clone(), len(dxs.Data))
+				sendMat(cm, prevRank, tagActBwd+m, dxs)
 				clk.SetPhase(netmodel.PhaseCompute)
 			}
 		} else {
 			clk.SetPhase(netmodel.PhaseComm)
-			cm.Send(nextRank, tagActFwd+m, out.Clone(), len(out.Data))
+			sendMat(cm, nextRank, tagActFwd+m, out)
 			clk.SetPhase(netmodel.PhaseCompute)
 		}
 	}
 	// Backward phase for non-last stages: receive dy, backprop, forward
 	// dx upstream. The stage must re-run its forward on the stashed
 	// input first (activation recomputation, as GPipe does to save
-	// memory — and to repopulate the layer caches).
+	// memory — and to repopulate the layer caches). dy is consumed
+	// before the next receive, so one scratch matrix serves all
+	// microbatches.
 	if !last {
 		for m := 0; m < cfg.Microbatches; m++ {
 			clk.SetPhase(netmodel.PhaseComm)
-			dy := cm.Recv(nextRank, tagActBwd+m).(*tensor.Mat)
+			tr.recvDy = recvMat(cm, nextRank, tagActBwd+m, cfg.MicrobatchSize, tr.outWidth(), tr.recvDy)
+			dy := tr.recvDy
 			clk.SetPhase(netmodel.PhaseCompute)
-			tr.stage.Forward(stashes[m].x) // recompute caches
+			tr.stage.Forward(tr.stash[m]) // recompute caches
 			dx := tr.stage.Backward(dy)
 			clk.Compute(3 * flopsLinear(tr.stage, dy.Rows))
 			if !first {
 				clk.SetPhase(netmodel.PhaseComm)
-				cm.Send(prevRank, tagActBwd+m, dx.Clone(), len(dx.Data))
+				sendMat(cm, prevRank, tagActBwd+m, dx)
 				clk.SetPhase(netmodel.PhaseCompute)
 			}
 		}
@@ -255,11 +320,14 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, data *Dataset) IterStats {
 
 	// Data-parallel reduction of this stage's gradient across its row
 	// group, in the stage's own tag space.
-	var ranks []int
-	for r := 0; r < R; r++ {
-		ranks = append(ranks, r*S+tr.stageIdx)
+	if tr.group == nil || tr.groupWorld != cm {
+		var ranks []int
+		for r := 0; r < R; r++ {
+			ranks = append(ranks, r*S+tr.stageIdx)
+		}
+		tr.group, tr.groupWorld = cluster.NewGroup(cm, ranks, tr.stageIdx), cm
 	}
-	group := cluster.NewGroup(cm, ranks, tr.stageIdx)
+	group := tr.group
 	grads := tr.stage.store.Grads
 	tensor.ScaleAdd(tr.acc, cfg.LR, grads, tr.residual)
 	res := tr.algo.Reduce(group, tr.acc, t)

@@ -96,6 +96,12 @@ type Config struct {
 	// systems ship float32 gradients). Compute stays float64 either way.
 	Wire cluster.Wire
 
+	// Overlap selects the backward/communication overlap model for
+	// DenseOvlp-style algorithms: the simulated bucket pipeline
+	// (OverlapSim, default) or the legacy scalar discount
+	// (OverlapLegacy).
+	Overlap OverlapMode
+
 	// CaptureAcc enables per-iteration accumulator capture (ξ studies).
 	CaptureAcc bool
 }
@@ -161,6 +167,7 @@ func NewSession(cfg Config) *Session {
 			opt = optimizer.NewSGD(cfg.LR)
 		}
 		tr := NewTrainer(w, NewAlgorithm(cfg.Algorithm, cfg.Reduce), opt, cfg.Batch, cfg.Adam)
+		tr.Mode = cfg.Overlap
 		tr.CaptureAcc = cfg.CaptureAcc
 		s.Trainers = append(s.Trainers, tr)
 		s.rngs = append(s.rngs, tensor.RNG(cfg.Seed+1000+int64(r)))

@@ -1,14 +1,64 @@
 package train
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/allreduce"
 	"repro/internal/cluster"
 	"repro/internal/netmodel"
+	"repro/internal/nn"
 	"repro/internal/optimizer"
 	"repro/internal/tensor"
 )
+
+// OverlapMode selects how a backward-overlapping algorithm's
+// communication (DenseOvlp's bucket pipeline) is modeled.
+type OverlapMode int
+
+const (
+	// OverlapSim — the default — simulates the pipeline: the trainer
+	// threads the workload's per-layer backward schedule through a
+	// netmodel overlap window, launching each gradient bucket's
+	// allreduce the moment the last layer contributing to it finishes
+	// its backward, so only the exposed communication remainder reaches
+	// PhaseComm. No scalar discount is applied anywhere on this path.
+	OverlapSim OverlapMode = iota
+	// OverlapLegacy reproduces the pre-engine behavior for paired
+	// before/after comparisons: the reduction runs monolithically after
+	// the full backward pass and a scalar fraction (Trainer.Overlap,
+	// default 0.45, capped at 90% of compute) of its communication time
+	// is discounted post hoc.
+	OverlapLegacy
+)
+
+func (m OverlapMode) String() string {
+	switch m {
+	case OverlapSim:
+		return "sim"
+	case OverlapLegacy:
+		return "legacy"
+	}
+	return fmt.Sprintf("OverlapMode(%d)", int(m))
+}
+
+// ParseOverlapMode parses the -overlap flag values "sim" and "legacy".
+func ParseOverlapMode(s string) (OverlapMode, error) {
+	switch s {
+	case "sim":
+		return OverlapSim, nil
+	case "legacy":
+		return OverlapLegacy, nil
+	}
+	return OverlapSim, fmt.Errorf("train: unknown overlap mode %q (want sim or legacy)", s)
+}
+
+// BackwardFraction is the share of a workload's modeled compute+I/O
+// time spent in the backward pass (backward ≈ 2× forward for the
+// conv/recurrent/transformer stacks modeled here). It bounds what the
+// overlap engine can hide: communication only overlaps the backward
+// window that produces later buckets, never the forward pass or I/O.
+const BackwardFraction = 2.0 / 3.0
 
 // Trainer is one rank's training state: workload replica, reduction
 // algorithm instance, optimizer and residual (error-feedback) vector. It
@@ -28,15 +78,19 @@ type Trainer struct {
 	Batch int
 	// LR is the current learning rate (schedules update it per step).
 	LR float64
-	// Overlap is the fraction of communication DenseOvlp hides behind
-	// backward computation (modeled; bucket pipelining is imperfect, and
-	// 0.45 matches the Dense→DenseOvlp gap across the paper's Figures 8,
-	// 10 and 12). The hidden amount is additionally capped by the
-	// available backward-compute time.
+	// Mode selects the overlap model for backward-overlapping
+	// algorithms: the simulated bucket pipeline (default) or the legacy
+	// scalar discount.
+	Mode OverlapMode
+	// Overlap is the legacy-mode discount: the fraction of communication
+	// DenseOvlp hides behind backward computation (0.45 matched the
+	// Dense→DenseOvlp gap across the paper's Figures 8, 10 and 12
+	// before the pipeline was simulated). Unused in OverlapSim mode.
 	Overlap float64
 
 	residual []float64
 	acc      []float64
+	plan     *overlapPlan
 
 	// CaptureAcc makes Step retain copies of the accumulator (αG_i+ε_i),
 	// the scaled gradient (αG_i) and the reduction output for the ξ
@@ -54,8 +108,9 @@ type StepStats struct {
 	Total   int
 	LocalK  int
 	GlobalK int
-	// Phase times in modeled seconds for this iteration, after the
-	// overlap discount: [compute, sparsify, comm].
+	// Phase times in modeled seconds for this iteration: [compute,
+	// sparsify, comm]. For overlap-simulated algorithms the comm entry
+	// is the exposed remainder the bucket pipeline failed to hide.
 	Phase [3]float64
 	// IterSeconds is this rank's modeled wall time for the iteration.
 	IterSeconds float64
@@ -72,6 +127,107 @@ func NewTrainer(w Workload, algo allreduce.Algorithm, opt optimizer.Optimizer, b
 	}
 }
 
+// overlapPlan is the precomputed mapping from a workload's backward
+// schedule onto an Overlapped algorithm's buckets: for each schedule
+// entry, its share of the backward window and the buckets whose last
+// contributing layer it is. Static per (workload, algorithm) pair, so
+// the steady-state step allocates nothing.
+type overlapPlan struct {
+	entries []overlapEntry
+}
+
+type overlapEntry struct {
+	frac    float64 // share of the backward window
+	buckets []int   // buckets to issue once this entry's backward completes
+}
+
+// buildOverlapPlan walks the schedule in backward order, retiring each
+// layer's parameter block from the buckets it intersects. Buckets are
+// issued in descending index order — backward produces the tail of the
+// flat vector first — and, like DDP, strictly in order: a bucket whose
+// neighbors toward the tail are still incomplete waits for them, which
+// keeps the collective issue order identical on every rank.
+func buildOverlapPlan(sched []nn.LayerCost, n int, ov allreduce.Overlapped) *overlapPlan {
+	nb := ov.Buckets(n)
+	var total float64
+	for _, lc := range sched {
+		total += lc.Flops
+	}
+	p := &overlapPlan{}
+	if len(sched) == 0 || total <= 0 {
+		// Degenerate schedule: charge the whole backward window, then
+		// issue everything (no overlap emerges, communication is fully
+		// exposed — the safe fallback).
+		all := make([]int, 0, nb)
+		for b := nb - 1; b >= 0; b-- {
+			all = append(all, b)
+		}
+		p.entries = []overlapEntry{{frac: 1, buckets: all}}
+		return p
+	}
+	rem := make([]int, nb)
+	for b := range rem {
+		lo, hi := ov.BucketBounds(n, b)
+		rem[b] = hi - lo
+	}
+	next := nb - 1
+	for _, lc := range sched {
+		e := overlapEntry{frac: lc.Flops / total}
+		for b := 0; b < nb; b++ {
+			lo, hi := ov.BucketBounds(n, b)
+			if o := intersectLen(lo, hi, lc.Off, lc.Off+lc.Len); o > 0 {
+				rem[b] -= o
+			}
+		}
+		for next >= 0 && rem[next] <= 0 {
+			e.buckets = append(e.buckets, next)
+			next--
+		}
+		p.entries = append(p.entries, e)
+	}
+	// Schedules tile [0, n), so the walk retires every bucket; a schedule
+	// that under-covers drains its stragglers with the final entry.
+	for next >= 0 {
+		last := &p.entries[len(p.entries)-1]
+		last.buckets = append(last.buckets, next)
+		next--
+	}
+	return p
+}
+
+func intersectLen(alo, ahi, blo, bhi int) int {
+	lo, hi := alo, ahi
+	if blo > lo {
+		lo = blo
+	}
+	if bhi < hi {
+		hi = bhi
+	}
+	return hi - lo
+}
+
+// drivePipeline runs the simulated bucket pipeline: inside a netmodel
+// overlap window, it burns the backward schedule on the compute track
+// and issues each bucket's reduction on the comm track the moment its
+// plan entry completes. The window close attributes the backward window
+// to PhaseCompute and only the exposed communication to PhaseComm.
+func (tr *Trainer) drivePipeline(cm *cluster.Comm, ov allreduce.Overlapped, backward float64, t int) allreduce.Result {
+	if tr.plan == nil {
+		tr.plan = buildOverlapPlan(tr.W.BackwardSchedule(), tr.W.N(), ov)
+	}
+	clk := cm.Clock()
+	clk.BeginOverlap()
+	for _, e := range tr.plan.entries {
+		clk.OverlapSleep(backward * e.frac)
+		for _, b := range e.buckets {
+			clk.OverlapReady()
+			ov.IssueBucket(cm, tr.acc, b)
+		}
+	}
+	clk.EndOverlap()
+	return ov.DrainOverlap(cm, tr.acc, t)
+}
+
 // Step runs iteration t (1-based) collectively with all other ranks.
 func (tr *Trainer) Step(cm *cluster.Comm, t int, rng *rand.Rand) StepStats {
 	clk := cm.Clock()
@@ -82,18 +238,33 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, rng *rand.Rand) StepStats {
 	clk.SetPhase(netmodel.PhaseCompute)
 	tr.W.ZeroGrads()
 	loss, correct, total := tr.W.ComputeBatch(rng, tr.Batch)
-	clk.Sleep(tr.W.ComputeSeconds(tr.Batch))
 
-	// Algorithm 2 line 4: accumulate residuals (fused acc = ε + α·G).
+	ov, pipelined := tr.Algo.(allreduce.Overlapped)
+	pipelined = pipelined && tr.Mode == OverlapSim && tr.Algo.OverlapsBackward()
+
+	comp := tr.W.ComputeSeconds(tr.Batch)
 	grads := tr.W.Grads()
 	scale := tr.LR
 	if tr.RawGrad {
 		scale = 1
 	}
-	tensor.ScaleAdd(tr.acc, scale, grads, tr.residual)
-
-	// Line 5: the collective reduction.
-	res := tr.Algo.Reduce(cm, tr.acc, t)
+	var res allreduce.Result
+	if pipelined {
+		// Forward + I/O are charged up front; the backward window runs
+		// inside the overlap engine, concurrent with the bucket pipeline.
+		backward := comp * BackwardFraction
+		clk.Sleep(comp - backward)
+		// Algorithm 2 line 4: accumulate residuals (fused acc = ε + α·G).
+		tensor.ScaleAdd(tr.acc, scale, grads, tr.residual)
+		// Line 5, pipelined: bucket-by-bucket reduction against the
+		// backward schedule.
+		res = tr.drivePipeline(cm, ov, backward, t)
+	} else {
+		clk.Sleep(comp)
+		tensor.ScaleAdd(tr.acc, scale, grads, tr.residual)
+		// Line 5: the collective reduction.
+		res = tr.Algo.Reduce(cm, tr.acc, t)
+	}
 	clk.SetPhase(netmodel.PhaseCompute)
 
 	if tr.CaptureAcc {
@@ -145,9 +316,11 @@ func (tr *Trainer) Step(cm *cluster.Comm, t int, rng *rand.Rand) StepStats {
 	for i := 0; i < 3; i++ {
 		st.Phase[i] = after.PhaseTime[i] - before.PhaseTime[i]
 	}
-	// DenseOvlp hides a fraction of communication behind backward
-	// compute, capped by the compute time actually available.
-	if tr.Algo.OverlapsBackward() {
+	// Legacy mode only: discount a fixed fraction of communication,
+	// capped by the compute time actually available. The simulated
+	// pipeline needs no correction — its exposed remainder is already
+	// what landed in PhaseComm.
+	if tr.Algo.OverlapsBackward() && !pipelined {
 		hidden := tr.Overlap * st.Phase[netmodel.PhaseComm]
 		if cap := 0.9 * st.Phase[netmodel.PhaseCompute]; hidden > cap {
 			hidden = cap

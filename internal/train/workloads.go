@@ -39,6 +39,11 @@ type Workload interface {
 	// the simulated clock (our CPU substrate computes the real gradient
 	// but at laptop speed; the model keeps the figures cluster-shaped).
 	ComputeSeconds(batchSize int) float64
+	// BackwardSchedule is the model's per-layer backward cost schedule
+	// in reverse execution order (see nn.LayerCost): the overlap engine
+	// rescales it to the backward share of ComputeSeconds and issues
+	// gradient buckets against it.
+	BackwardSchedule() []nn.LayerCost
 	// PaperN is the parameter count of the paper-scale model this
 	// workload stands in for; the ratio PaperN/N calibrates the β
 	// scaling so communication volumes match the paper's regime.
@@ -116,6 +121,9 @@ func (w *VGGWorkload) ComputeSeconds(batchSize int) float64 {
 // PaperN is VGG-16's parameter count.
 func (w *VGGWorkload) PaperN() int { return 14728266 }
 
+// BackwardSchedule exposes the model's backward cost schedule.
+func (w *VGGWorkload) BackwardSchedule() []nn.LayerCost { return w.model.BackwardSchedule() }
+
 // LSTMWorkload is LSTM/AN4 (Table 2 row 2); the metric is a WER-like
 // sequence error rate.
 type LSTMWorkload struct {
@@ -189,6 +197,9 @@ func (w *LSTMWorkload) ComputeSeconds(batchSize int) float64 {
 // PaperN is the paper LSTM's parameter count.
 func (w *LSTMWorkload) PaperN() int { return 27569568 }
 
+// BackwardSchedule exposes the model's backward cost schedule.
+func (w *LSTMWorkload) BackwardSchedule() []nn.LayerCost { return w.model.BackwardSchedule() }
+
 // BERTWorkload is BERT/Wikipedia pre-training (Table 2 row 3); the
 // metric is the masked-LM loss on held-out batches.
 type BERTWorkload struct {
@@ -258,6 +269,9 @@ func (w *BERTWorkload) ComputeSeconds(batchSize int) float64 {
 
 // PaperN is BERT-base-with-128-seq's parameter count from Table 2.
 func (w *BERTWorkload) PaperN() int { return 133547324 }
+
+// BackwardSchedule exposes the model's backward cost schedule.
+func (w *BERTWorkload) BackwardSchedule() []nn.LayerCost { return w.model.BackwardSchedule() }
 
 // NewWorkload constructs a workload by name ("VGG", "LSTM", "BERT").
 func NewWorkload(name string, modelSeed, dataSeed int64) Workload {
