@@ -19,7 +19,10 @@
 // simulated bucket pipeline (default) or the historical scalar
 // discount — for paired before/after rows. -trace DIR records each
 // training configuration's final-iteration message trace into DIR for
-// offline analysis.
+// offline analysis. -transport tcp makes the tcpsmoke experiment train
+// its configuration over real worker processes (one per rank, TCP
+// mesh), reporting host wall-clock alongside the modeled time; all
+// other experiments always use the deterministic in-process backend.
 //
 // The default scale finishes in minutes on a laptop; -full uses the
 // paper's cluster sizes and longer runs.
@@ -37,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/tensor"
 	"repro/internal/train"
+	"repro/internal/worker"
 )
 
 var (
@@ -53,6 +57,8 @@ var (
 		"DenseOvlp overlap model: sim (bucket pipeline simulated against the backward schedule) or legacy (pre-engine scalar discount)")
 	traceDir = flag.String("trace", "",
 		"directory to record per-configuration message traces into (final training iteration of each weak-scaling/convergence config)")
+	transport = flag.String("transport", "inproc",
+		"cluster backend for transport-aware experiments: inproc (default; all figures, deterministic) or tcp (the tcpsmoke runner trains over one worker process per rank and reports wall-clock)")
 )
 
 func scale() experiments.Scale {
@@ -63,6 +69,7 @@ func scale() experiments.Scale {
 }
 
 func main() {
+	worker.ExitIfWorker()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: oktopk-bench [-full] [-parallel N] [-out dir] <experiment id>|all|list\n")
 		flag.PrintDefaults()
@@ -86,6 +93,33 @@ func main() {
 	}
 	experiments.SetOverlapMode(om)
 	experiments.SetTraceDir(*traceDir)
+	tk, err := cluster.ParseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	experiments.SetTransport(tk)
+	if tk == cluster.TransportTCP {
+		experiments.SetTCPTrainRunner(func(cfg train.Config, iters int) (experiments.TCPTrainResult, error) {
+			out, err := worker.Launch(worker.Job{
+				Kind: "train", Size: cfg.P, Wire: cfg.Wire, TimeoutSec: 300,
+				Train: &worker.TrainJob{Config: cfg, Iters: iters},
+			}, worker.LaunchOptions{})
+			if err != nil {
+				return experiments.TCPTrainResult{}, err
+			}
+			if out.Train == nil {
+				return experiments.TCPTrainResult{}, fmt.Errorf("worker: rank 0 produced no train report")
+			}
+			return experiments.TCPTrainResult{
+				SimSeconds: out.Train.SimSeconds,
+				Loss:       out.Train.Loss,
+				Metric:     out.Train.Metric,
+				MetricName: out.Train.MetricName,
+				Wall:       out.Wall,
+			}, nil
+		})
+	}
 	id := flag.Arg(0)
 	switch id {
 	case "list":

@@ -15,6 +15,14 @@
 // lost). The modeled-time column counts iterations run by this
 // process. -trace FILE records the final iteration's message trace
 // (per-rank summary plus timeline) for offline analysis.
+//
+// -transport tcp runs the session as a real multi-process job: the
+// command relaunches itself as one worker process per rank, the ranks
+// form a TCP mesh (rank 0 is the rendezvous point), and the identical
+// collectives run over real sockets. Modeled time stays authoritative
+// and bit-identical to an inproc run; the summary additionally reports
+// the job's host wall-clock. Checkpointing, resume and tracing need the
+// inproc transport.
 package main
 
 import (
@@ -29,9 +37,11 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/train"
+	"repro/internal/worker"
 )
 
 func main() {
+	worker.ExitIfWorker()
 	var (
 		workload  = flag.String("workload", "VGG", "VGG | LSTM | BERT")
 		algo      = flag.String("algo", "OkTopk", "Dense | DenseOvlp | TopkA | TopkDSA | gTopk | Gaussiank | OkTopk")
@@ -53,6 +63,7 @@ func main() {
 		ckptFile  = flag.String("checkpoint", "", "save training state to this file (periodically and at exit)")
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N iterations (0 = only at exit; needs -checkpoint)")
 		resume    = flag.String("resume", "", "restore a -checkpoint file and continue the run to -iters")
+		transport = flag.String("transport", "inproc", "cluster backend: inproc (all ranks in this process) or tcp (one worker process per rank; reports wall-clock alongside modeled time)")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
@@ -93,6 +104,18 @@ func main() {
 	}
 	if *commodity {
 		cfg.Net = netmodel.Commodity()
+	}
+	tk, err := cluster.ParseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if tk == cluster.TransportTCP {
+		if *ckptFile != "" || *resume != "" || *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "oktopk-train: -checkpoint/-resume/-trace need the inproc transport")
+			os.Exit(2)
+		}
+		os.Exit(runTCP(cfg, *iters, *evalEvery))
 	}
 	s := train.NewSession(cfg)
 	startIter := 1
@@ -167,4 +190,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "WARNING: replicas diverged by %v\n", d)
 		os.Exit(1)
 	}
+}
+
+// runTCP executes the run as a real multi-process job: one worker
+// process per rank over the TCP transport. Rank 0's progress lines are
+// relayed, and the summary pairs the authoritative modeled time with
+// the job's measured host wall-clock.
+func runTCP(cfg train.Config, iters, evalEvery int) int {
+	fmt.Printf("training %s with %s on %d workers (tcp transport, one process per rank)\n",
+		cfg.Workload, cfg.Algorithm, cfg.P)
+	out, err := worker.Launch(worker.Job{
+		Kind: "train", Size: cfg.P, Wire: cfg.Wire,
+		Train: &worker.TrainJob{Config: cfg, Iters: iters, EvalEvery: evalEvery},
+	}, worker.LaunchOptions{Forward: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if out.Train == nil {
+		fmt.Fprintln(os.Stderr, "oktopk-train: rank 0 produced no report")
+		return 1
+	}
+	fmt.Printf("iter %5d  modeled-time %8.2fs  loss %7.4f  %s %.4f\n",
+		out.Train.Iters, out.Train.SimSeconds, out.Train.Loss, out.Train.MetricName, out.Train.Metric)
+	fmt.Printf("wall-clock %.2fs for %.2fs modeled (%d processes)\n",
+		out.Wall.Seconds(), out.Train.SimSeconds, cfg.P)
+	return 0
 }

@@ -1,0 +1,26 @@
+// Command oktopk-worker hosts one rank of a multi-process job.
+//
+// It is not meant to be invoked by hand: a launcher (oktopk-bench or
+// oktopk-train with -transport tcp, or a test binary) re-executes a
+// worker binary once per rank with the OKTOPK_WORKER_JOB environment
+// variable carrying the rank's job description, and the worker joins
+// the TCP mesh, runs its share of the collectives, and reports through
+// rank 0's stdout. By default launchers re-execute themselves; set
+// OKTOPK_WORKER_EXE to point them at this dedicated binary instead
+// (e.g. to run workers from a different build).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/worker"
+)
+
+func main() {
+	worker.ExitIfWorker()
+	fmt.Fprintf(os.Stderr,
+		"oktopk-worker: %s not set; this binary is launched by oktopk-bench/oktopk-train -transport tcp\n",
+		worker.EnvJob)
+	os.Exit(2)
+}

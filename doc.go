@@ -14,10 +14,13 @@
 //	internal/sparsecoll  baselines: TopkA, TopkDSA, gTopk, Gaussiank
 //	internal/allreduce   shared algorithm interface + dense baselines
 //	internal/collectives dense collective algorithms on pooled payloads
-//	internal/cluster     P-worker message-passing runtime (MPI stand-in):
-//	                     typed pooled messages, per-rank buffer pools with
+//	internal/cluster     P-worker message-passing runtime (MPI stand-in)
+//	                     with pluggable transports: the in-process backend
+//	                     (typed pooled messages, per-rank buffer pools with
 //	                     ownership-transfer, batched mailboxes, atomic
-//	                     sense-reversing barrier, f64/f32 wire formats
+//	                     sense-reversing barrier) and a multi-process TCP
+//	                     backend (length-prefixed frames, rank-0
+//	                     rendezvous, full mesh); f64/f32 wire formats
 //	internal/netmodel    α-β cost model and phase-attributed clocks
 //	internal/topk        selection strategies and threshold reuse
 //	internal/sparse      COO sparse vectors + single-owner Vec pools
@@ -32,8 +35,11 @@
 //	                     pool, row-owned GEMMs, Mat scratch) + seeded RNG
 //	internal/trace       per-message event recording and timelines
 //	internal/experiments runner registry + parallel experiment scheduler
+//	internal/worker      multi-process worker entrypoint and launcher
+//	internal/conformance cross-backend (inproc vs tcp) conformance suite
 //	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)
 //	cmd/oktopk-train     run one training configuration
+//	cmd/oktopk-worker    hosts one rank of a -transport tcp job
 //	examples/            runnable walk-throughs of the public API
 //
 // The whole collective stack runs on either of two wire formats,
@@ -49,6 +55,17 @@
 // replicas, and byte-identical output at any -parallel/-workers
 // setting. See DESIGN.md's "wire format" section and the paired
 // f64/f32 tables in EXPERIMENTS.md.
+//
+// The cluster runtime is transport-pluggable: the default inproc
+// backend runs all P ranks as goroutines in one process, while
+// -transport tcp (both commands; train.Config.Transport in code) runs
+// the identical collectives as a real multi-process job — one worker
+// process per rank, re-executed via the OKTOPK_WORKER_JOB protocol
+// (worker.ExitIfWorker at the top of main), rank 0 as rendezvous, a
+// full TCP mesh of length-prefixed frames. Modeled time stays
+// authoritative and bit-identical across backends (pinned by the
+// internal/conformance suite); TCP runs additionally report host
+// wall-clock. See DESIGN.md's "Transport layer" section.
 //
 // The Dense(Ovlp) baseline's backward/communication overlap is
 // simulated from first principles rather than discounted: models

@@ -22,6 +22,14 @@
 // rounded to float32 at the send edge, travel as pooled []float32
 // buffers, and every 4-byte element is accounted as half a word — see
 // wire.go. Compute above the runtime stays float64 in both modes.
+//
+// Message movement itself is pluggable (transport.go): the default
+// inproc Transport hosts all P ranks as goroutines and keeps the
+// zero-allocation pointer-passing steady state described above, while
+// the tcp Transport (tcp.go) hosts one rank per OS process and ships
+// the same typed payloads as length-prefixed frames. Comm's semantics —
+// tags, non-overtaking order, word accounting, modeled time — are
+// identical on both; internal/conformance pins that cross-backend.
 package cluster
 
 import (
@@ -120,11 +128,20 @@ func (q *mbQueue) pop() *Message {
 // puts signal it only when that receiver is actually blocked (the
 // `waiting` flag), so steady-state puts into a busy rank are a
 // lock/append/unlock with no wakeup at all.
+//
+// A mailbox can be poisoned (fail): once a transport observes a fatal
+// condition — a peer connection dropped, the job torn down — every
+// pending and future take returns that error instead of blocking
+// forever. Takes also accept a deadline, so a receive that will never be
+// satisfied (the sender's process died before sending) surfaces as an
+// error within bounded time. Both paths cost nothing in the inproc
+// steady state: a nil check and an IsZero check per take.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queues  map[RecvKey]*mbQueue
 	waiting bool
+	err     error
 }
 
 func newMailbox() *mailbox {
@@ -154,19 +171,78 @@ func (m *mailbox) put(msg *Message) {
 	}
 }
 
+// fail poisons the mailbox: every pending and future take returns err.
+// The first failure wins; later calls keep the original cause.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// deadlineTimer arms a one-shot wakeup for a blocked take: when the
+// deadline passes, it flips *expired under the mailbox lock and
+// broadcasts, so the cond-wait loop re-checks and bails out. sync.Cond
+// has no timed wait; this is the standard workaround.
+func (m *mailbox) deadlineTimer(deadline time.Time, expired *bool) *time.Timer {
+	return time.AfterFunc(time.Until(deadline), func() {
+		m.mu.Lock()
+		*expired = true
+		m.mu.Unlock()
+		m.cond.Broadcast()
+	})
+}
+
 // take removes and returns the first queued message matching (src, tag),
-// blocking until one arrives. FIFO order within one (src, tag) stream
-// preserves MPI's non-overtaking semantics.
-func (m *mailbox) take(src, tag int) *Message {
+// blocking until one arrives, the mailbox is poisoned, or the deadline
+// (zero = none) passes. FIFO order within one (src, tag) stream
+// preserves MPI's non-overtaking semantics. Queued messages are always
+// drained ahead of a failure report: data that arrived before the fault
+// stays deliverable. The deadline path lives in takeDeadline so the
+// inproc hot path never allocates (the timer's expired flag escapes).
+func (m *mailbox) take(src, tag int, deadline time.Time) (*Message, error) {
+	if !deadline.IsZero() {
+		return m.takeDeadline(src, tag, deadline)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.queue(RecvKey{src, tag})
 	for q.empty() {
+		if m.err != nil {
+			return nil, m.err
+		}
 		m.waiting = true
 		m.cond.Wait()
 	}
 	m.waiting = false
-	return q.pop()
+	return q.pop(), nil
+}
+
+// takeDeadline is take with a bound on the stall.
+func (m *mailbox) takeDeadline(src, tag int, deadline time.Time) (*Message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q := m.queue(RecvKey{src, tag})
+	var timer *time.Timer
+	expired := false
+	for q.empty() {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if expired {
+			return nil, fmt.Errorf("recv deadline exceeded waiting for (src=%d, tag=%d)", src, tag)
+		}
+		if timer == nil {
+			timer = m.deadlineTimer(deadline, &expired)
+			defer timer.Stop()
+		}
+		m.waiting = true
+		m.cond.Wait()
+	}
+	m.waiting = false
+	return q.pop(), nil
 }
 
 // takeEach pops exactly one message per key, invoking deliver in key
@@ -174,8 +250,14 @@ func (m *mailbox) take(src, tag int) *Message {
 // accumulation). Messages that are already queued are harvested in
 // batches under a single lock hold, so a receiver that fell behind a
 // burst of puts pays one lock round-trip per batch instead of one per
-// message.
-func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message)) {
+// message. Poisoning and the deadline abort the wait exactly as in
+// take; messages already handed to deliver stay delivered. As with
+// take, the deadline variant is split out to keep the inproc hot path
+// allocation-free.
+func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message), deadline time.Time) error {
+	if !deadline.IsZero() {
+		return m.takeEachDeadline(keys, deliver, deadline)
+	}
 	var batch [16]*Message
 	i := 0
 	m.mu.Lock()
@@ -190,6 +272,11 @@ func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message)) {
 			n++
 		}
 		if n == 0 {
+			if m.err != nil {
+				err := m.err
+				m.mu.Unlock()
+				return err
+			}
 			m.waiting = true
 			m.cond.Wait()
 			continue
@@ -205,6 +292,61 @@ func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message)) {
 	}
 	m.waiting = false
 	m.mu.Unlock()
+	return nil
+}
+
+// takeEachDeadline is takeEach with a bound on each stall.
+func (m *mailbox) takeEachDeadline(keys []RecvKey, deliver func(i int, msg *Message), deadline time.Time) error {
+	var batch [16]*Message
+	var timer *time.Timer
+	expired := false
+	i := 0
+	m.mu.Lock()
+	for i < len(keys) {
+		n := 0
+		for i+n < len(keys) && n < len(batch) {
+			q := m.queue(keys[i+n])
+			if q.empty() {
+				break
+			}
+			batch[n] = q.pop()
+			n++
+		}
+		if n == 0 {
+			if m.err != nil {
+				err := m.err
+				m.mu.Unlock()
+				if timer != nil {
+					timer.Stop()
+				}
+				return err
+			}
+			if expired {
+				m.mu.Unlock()
+				return fmt.Errorf("recv deadline exceeded waiting for (src=%d, tag=%d)", keys[i].Src, keys[i].Tag)
+			}
+			if timer == nil {
+				timer = m.deadlineTimer(deadline, &expired)
+			}
+			m.waiting = true
+			m.cond.Wait()
+			continue
+		}
+		m.waiting = false
+		m.mu.Unlock()
+		for j := 0; j < n; j++ {
+			deliver(i+j, batch[j])
+			batch[j] = nil
+		}
+		i += n
+		m.mu.Lock()
+	}
+	m.waiting = false
+	m.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	return nil
 }
 
 // barrier is a reusable sense-reversing barrier on atomics: arrivals
@@ -260,16 +402,19 @@ func (b *barrier) wait(t float64) float64 {
 	return math.Float64frombits(slot.Load())
 }
 
-// Cluster owns the shared state of one P-worker run.
+// Cluster owns one process's share of a P-worker run: the transport and
+// per-rank state (clock, communicator, pools) for every rank hosted
+// here. Under the inproc transport that is all P ranks; under tcp it is
+// one rank, and the slices stay sized P with only the local entries
+// populated so rank indices keep meaning the same thing everywhere.
 type Cluster struct {
-	size     int
-	wire     Wire
-	boxes    []*mailbox
-	barrier  *barrier
-	clocks   []*netmodel.Clock
-	comms    []Comm
-	pools    []rankPools
-	recorder *trace.Recorder
+	size      int
+	wire      Wire
+	transport Transport
+	clocks    []*netmodel.Clock
+	comms     []Comm
+	pools     []rankPools
+	recorder  *trace.Recorder
 
 	runErrs   []error
 	runPanics []any
@@ -285,22 +430,27 @@ func New(size int, params netmodel.Params) *Cluster {
 	return NewWire(size, params, WireF64)
 }
 
-// NewWire creates a cluster with an explicit wire format. WireF32 makes
-// every collective ship rounded float32 values in pooled []float32
-// buffers at half-word accounting; compute above the wire stays float64.
+// NewWire creates a cluster with an explicit wire format, on the default
+// inproc transport. WireF32 makes every collective ship rounded float32
+// values in pooled []float32 buffers at half-word accounting; compute
+// above the wire stays float64.
 func NewWire(size int, params netmodel.Params, wire Wire) *Cluster {
 	if size <= 0 {
 		panic("cluster: size must be positive")
 	}
-	c := &Cluster{size: size, wire: wire, barrier: newBarrier(size)}
-	c.boxes = make([]*mailbox, size)
+	return newCluster(params, wire, newInprocTransport(size))
+}
+
+// newCluster wires per-rank state onto an already-built transport.
+func newCluster(params netmodel.Params, wire Wire, tr Transport) *Cluster {
+	size := tr.Size()
+	c := &Cluster{size: size, wire: wire, transport: tr}
 	c.clocks = make([]*netmodel.Clock, size)
 	c.comms = make([]Comm, size)
 	c.pools = make([]rankPools, size)
 	c.runErrs = make([]error, size)
 	c.runPanics = make([]any, size)
-	for i := range c.boxes {
-		c.boxes[i] = newMailbox()
+	for _, i := range tr.Local() {
 		c.clocks[i] = netmodel.NewClock(params)
 		c.comms[i] = Comm{cluster: c, rank: i, clock: c.clocks[i]}
 		c.pools[i].chunks.clearOnPut = true
@@ -308,56 +458,96 @@ func NewWire(size int, params netmodel.Params, wire Wire) *Cluster {
 	return c
 }
 
-// Size returns the number of workers.
+// Size returns the number of workers across the whole job.
 func (c *Cluster) Size() int { return c.size }
 
 // Wire returns the cluster's wire format.
 func (c *Cluster) Wire() Wire { return c.wire }
 
-// Comm returns the communicator for the given rank. Typically only Run
-// needs this, but tests drive individual ranks directly.
+// Transport reports which backend moves this cluster's messages.
+func (c *Cluster) Transport() TransportKind { return c.transport.Kind() }
+
+// LocalRanks lists the ranks hosted in this process, ascending. The
+// inproc transport hosts all of them; tcp hosts one.
+func (c *Cluster) LocalRanks() []int { return c.transport.Local() }
+
+// AllLocal reports whether every rank runs in this process — the
+// condition under which cross-rank state (Stats of all ranks, direct
+// Comm access to any rank) is meaningful without a Gather.
+func (c *Cluster) AllLocal() bool { return len(c.transport.Local()) == c.size }
+
+// Close releases the transport (connections, reader goroutines) after a
+// clean shutdown handshake. Only call it after Run returned; the inproc
+// transport makes it a no-op.
+func (c *Cluster) Close() error { return c.transport.Close() }
+
+// Abort releases the transport without the clean shutdown handshake, so
+// remote peers observe the same bare connection loss a killed process
+// produces. For failure-injection tests; everything else wants Close.
+func (c *Cluster) Abort() { c.transport.Abort() }
+
+// Comm returns the communicator for the given rank, which must be hosted
+// in this process. Typically only Run needs this, but tests drive
+// individual ranks directly.
 func (c *Cluster) Comm(rank int) *Comm {
 	if rank < 0 || rank >= c.size {
 		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, c.size))
+	}
+	if c.clocks[rank] == nil {
+		panic(fmt.Sprintf("cluster: rank %d is not hosted in this process (transport %s, local %v)",
+			rank, c.transport.Kind(), c.transport.Local()))
 	}
 	return &c.comms[rank]
 }
 
 // Stats returns the per-rank clock snapshots after (or during) a run.
+// Ranks hosted elsewhere report zero stats; callers that need the whole
+// job's view gather them over the control plane (Comm.Gather).
 func (c *Cluster) Stats() []netmodel.Stats {
 	out := make([]netmodel.Stats, c.size)
 	for i, cl := range c.clocks {
-		out[i] = cl.Snapshot()
+		if cl != nil {
+			out[i] = cl.Snapshot()
+		}
 	}
 	return out
 }
 
-// ResetClocks zeroes all clocks, keeping parameters; used between
+// ResetClocks zeroes all local clocks, keeping parameters; used between
 // measured iterations.
 func (c *Cluster) ResetClocks() {
 	for _, cl := range c.clocks {
-		cl.Reset()
+		if cl != nil {
+			cl.Reset()
+		}
 	}
 }
 
-// Run executes body once per rank, each in its own goroutine, and waits
-// for all to finish. A panic in any worker is captured and re-panicked
-// on the caller with rank attribution; the first non-nil error is
-// returned.
+// Run executes body once per local rank, each in its own goroutine, and
+// waits for all to finish. A transport failure (*TransportError panic —
+// a dead peer, an expired receive deadline) is converted into that
+// rank's error return, so a distributed fault surfaces as an error, not
+// a crash. Any other panic is captured and re-panicked on the caller
+// with rank attribution; the first non-nil error is returned.
 func (c *Cluster) Run(body func(comm *Comm) error) error {
 	var wg sync.WaitGroup
 	errs := c.runErrs
 	panics := c.runPanics
-	for r := range errs {
+	local := c.transport.Local()
+	for _, r := range local {
 		errs[r] = nil
 		panics[r] = nil
 	}
-	for r := 0; r < c.size; r++ {
+	for _, r := range local {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if te, ok := p.(*TransportError); ok {
+						errs[rank] = te
+						return
+					}
 					panics[rank] = p
 				}
 			}()
@@ -443,6 +633,9 @@ func (cm *Comm) stampSend(dst, tag, words int) *Message {
 	if dst == cm.rank {
 		panic("cluster: send to self (use local buffers instead)")
 	}
+	if tag < 0 {
+		panic("cluster: negative tags are reserved for transport control messages")
+	}
 	depart := cm.clock.StampSend(words)
 	if rec := cm.cluster.recorder; rec != nil {
 		rec.Record(trace.Event{
@@ -462,7 +655,7 @@ func (cm *Comm) stampSend(dst, tag, words int) *Message {
 func (cm *Comm) Send(dst, tag int, data any, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.Data = payloadAny, data
-	cm.cluster.boxes[dst].put(msg)
+	cm.cluster.transport.Deliver(cm, dst, msg)
 }
 
 // SendFloats transmits a []float64 payload without boxing. Ownership of
@@ -472,7 +665,7 @@ func (cm *Comm) Send(dst, tag int, data any, words int) {
 func (cm *Comm) SendFloats(dst, tag int, x []float64, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.floats = payloadFloats, x
-	cm.cluster.boxes[dst].put(msg)
+	cm.cluster.transport.Deliver(cm, dst, msg)
 }
 
 // SendFloat32s transmits an f32-wire value payload without boxing.
@@ -481,7 +674,7 @@ func (cm *Comm) SendFloats(dst, tag int, x []float64, words int) {
 func (cm *Comm) SendFloat32s(dst, tag int, x []float32, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.floats32 = payloadFloats32, x
-	cm.cluster.boxes[dst].put(msg)
+	cm.cluster.transport.Deliver(cm, dst, msg)
 }
 
 // SendChunk transmits a single Chunk without boxing. Ownership of the
@@ -490,7 +683,7 @@ func (cm *Comm) SendFloat32s(dst, tag int, x []float32, words int) {
 func (cm *Comm) SendChunk(dst, tag int, ch Chunk, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.chunk = payloadChunk, ch
-	cm.cluster.boxes[dst].put(msg)
+	cm.cluster.transport.Deliver(cm, dst, msg)
 }
 
 // SendChunks transmits a chunk container without boxing. The container
@@ -499,17 +692,22 @@ func (cm *Comm) SendChunk(dst, tag int, ch Chunk, words int) {
 func (cm *Comm) SendChunks(dst, tag int, chs []Chunk, words int) {
 	msg := cm.stampSend(dst, tag, words)
 	msg.kind, msg.chunks = payloadChunks, chs
-	cm.cluster.boxes[dst].put(msg)
+	cm.cluster.transport.Deliver(cm, dst, msg)
 }
 
 // recvMsg blocks for the message, charges its delivery under the cost
 // model and records it. The caller extracts the payload and releases the
-// message via release().
+// message via release(). A transport failure (dead peer, expired recv
+// deadline) panics with a rank-attributed *TransportError, which
+// Cluster.Run converts into an error return.
 func (cm *Comm) recvMsg(src, tag int) *Message {
 	if src == cm.rank {
 		panic("cluster: recv from self")
 	}
-	msg := cm.cluster.boxes[cm.rank].take(src, tag)
+	msg, err := cm.cluster.transport.Take(cm.rank, src, tag)
+	if err != nil {
+		panic(&TransportError{Rank: cm.rank, Err: err})
+	}
 	cm.deliver(msg)
 	return msg
 }
@@ -608,7 +806,7 @@ func (cm *Comm) RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk)) {
 			panic("cluster: recv from self")
 		}
 	}
-	cm.cluster.boxes[cm.rank].takeEach(keys, func(i int, msg *Message) {
+	err := cm.cluster.transport.TakeEach(cm.rank, keys, func(i int, msg *Message) {
 		cm.deliver(msg)
 		var ch Chunk
 		if msg.kind == payloadChunk {
@@ -619,12 +817,20 @@ func (cm *Comm) RecvChunkEach(keys []RecvKey, fn func(i int, ch Chunk)) {
 		cm.release(msg)
 		fn(i, ch)
 	})
+	if err != nil {
+		panic(&TransportError{Rank: cm.rank, Err: err})
+	}
 }
 
 // Barrier synchronizes all ranks and their clocks, charging a
-// dissemination barrier's ⌈log₂P⌉ α cost.
+// dissemination barrier's ⌈log₂P⌉ α cost. The released time is the
+// maximum over all ranks' arrival times, which is order-independent, so
+// the post-barrier clock is bit-identical on every transport.
 func (cm *Comm) Barrier() {
-	maxT := cm.cluster.barrier.wait(cm.clock.Now())
+	maxT, err := cm.cluster.transport.BarrierWait(cm.rank, cm.clock.Now())
+	if err != nil {
+		panic(&TransportError{Rank: cm.rank, Err: err})
+	}
 	steps := bits.Len(uint(cm.cluster.size - 1))
 	cm.clock.AdvanceTo(maxT + float64(steps)*cm.clock.Params().Alpha)
 }
@@ -632,3 +838,19 @@ func (cm *Comm) Barrier() {
 // DrainSends waits for the send NIC to go idle (models MPI_Waitall on
 // outstanding isends).
 func (cm *Comm) DrainSends() { cm.clock.DrainSends() }
+
+// Gather is the out-of-band control plane: every rank contributes a
+// byte blob; rank 0 gets all blobs in rank order, other ranks get nil.
+// It carries bookkeeping — per-rank stats, conformance digests — never
+// collective data, and is deliberately not costed by the netmodel, so
+// modeled time stays identical whether or not callers gather. Like the
+// other Comm methods it must be called from this rank's goroutine, and
+// collectively: every rank of the job must call it the same number of
+// times.
+func (cm *Comm) Gather(blob []byte) [][]byte {
+	out, err := cm.cluster.transport.Gather(cm.rank, blob)
+	if err != nil {
+		panic(&TransportError{Rank: cm.rank, Err: err})
+	}
+	return out
+}

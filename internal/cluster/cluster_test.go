@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/netmodel"
 )
@@ -129,7 +130,10 @@ func TestMailboxQueueRecycles(t *testing.T) {
 	m := newMailbox()
 	for i := 0; i < 1000; i++ {
 		m.put(&Message{Src: 1, Tag: 2, Data: i})
-		msg := m.take(1, 2)
+		msg, err := m.take(1, 2, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if msg.Data.(int) != i {
 			t.Fatalf("wrong message %v at %d", msg.Data, i)
 		}

@@ -1,0 +1,477 @@
+package cluster
+
+// The tcp Transport: one OS process per rank, a full mesh of TCP
+// connections, and the frame codec of frame.go carrying the exact same
+// typed payloads the inproc mailboxes pass by pointer.
+//
+// # Rendezvous
+//
+// Rank 0 is the rendezvous point. It listens (default 127.0.0.1:0) and
+// reports the bound address through OnListen — the launcher
+// (internal/worker) forwards it to the other ranks. Every rank r > 0
+// opens its own listener first, dials rank 0 and sends a hello frame
+// carrying (r, its listen address); once all P−1 hellos are in, rank 0
+// answers each with the full address table. The mesh is then completed
+// deterministically: rank r dials every rank 1..r−1 from the table and
+// accepts from every rank r+1..P−1, so each pair establishes exactly
+// one connection. All rendezvous I/O runs under the configured timeout
+// and failures return errors naming the rendezvous step.
+//
+// # Steady state
+//
+// One reader goroutine per connection decodes frames into the process's
+// single mailbox; writes happen only from the local rank's goroutine
+// (the documented Comm threading contract), so neither side needs extra
+// locking. Payload buffers are decoded into fresh allocations — a
+// remote message was never in any local pool — and on the send side the
+// encoded-from buffers are left to the GC because they may fan out to
+// several destinations (payload.go). The zero-allocation steady state
+// is therefore an inproc property; tcp trades it for real sockets.
+//
+// # Control plane and failure
+//
+// Barrier and Gather ride the same connections as data, as ordinary
+// frames under reserved negative tags no application code can use
+// (stampSend rejects tag < 0). They carry no Words and never touch the
+// netmodel clocks, so modeled time stays bit-identical to inproc: the
+// barrier is centralized at rank 0, which collects every rank's arrival
+// time, takes the max — the same order-independent value the inproc
+// CAS-max barrier produces — and releases everyone with it.
+//
+// Any connection error poisons the mailbox: every blocked and future
+// receive on this rank returns a rank-attributed error naming the dead
+// peer instead of hanging, and Cluster.Run surfaces it as an error
+// return. Receives additionally run under the transport timeout, so
+// even a silent peer (wedged, not dead) cannot stall a rank forever.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// Reserved control-plane tags. TCP-transport internal; negative so they
+// can never collide with application tags (stampSend rejects tag < 0).
+const (
+	tagBarrier        = -1 // peer → rank 0: barrier arrival, floats payload [t]
+	tagBarrierRelease = -2 // rank 0 → peer: barrier release, floats payload [maxT]
+	tagGather         = -3 // peer → rank 0: gather contribution, []byte payload
+	tagGatherAck      = -4 // rank 0 → peer: gather complete
+	tagBye            = -5 // peer → everyone: clean shutdown, no payload
+)
+
+// DefaultTCPTimeout bounds rendezvous I/O and every receive stall when
+// TCPOptions.Timeout is zero.
+const DefaultTCPTimeout = 60 * time.Second
+
+// TCPOptions configures one rank of a multi-process TCP job.
+type TCPOptions struct {
+	// Rank and Size identify this process within the job.
+	Rank, Size int
+	// Rendezvous is rank 0's listen address; required for Rank > 0,
+	// ignored for rank 0.
+	Rendezvous string
+	// Listen is this rank's listen address (default "127.0.0.1:0").
+	// Rank 0's bound address is the job's rendezvous address.
+	Listen string
+	// OnListen, when set, is called with the bound listen address before
+	// rendezvous blocks — the launcher uses it on rank 0 to learn the
+	// rendezvous address to hand to the other ranks.
+	OnListen func(addr string)
+	// Timeout bounds every rendezvous step and each receive stall
+	// (default DefaultTCPTimeout). A receive that exceeds it fails with
+	// a deadline error instead of hanging the job.
+	Timeout time.Duration
+}
+
+// NewTCP builds a cluster whose messages travel over the multi-process
+// TCP transport. It blocks until the full mesh is established (every
+// rank of the job must call it, each in its own process — or goroutine,
+// in loopback tests). The caller must Close the cluster when done.
+func NewTCP(opts TCPOptions, params netmodel.Params, wire Wire) (*Cluster, error) {
+	tr, err := newTCPTransport(opts)
+	if err != nil {
+		return nil, err
+	}
+	return newCluster(params, wire, tr), nil
+}
+
+type tcpTransport struct {
+	rank    int
+	size    int
+	timeout time.Duration
+	box     *mailbox
+	conns   []net.Conn      // indexed by peer rank; nil at self
+	writers []*bufio.Writer // same indexing; written only by the rank goroutine
+	readers sync.WaitGroup
+	closed  atomic.Bool
+	byes    []atomic.Bool // peer said goodbye: its EOF is a clean departure
+	local   [1]int
+	scratch []byte // frame encode buffer; rank-goroutine only
+}
+
+func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("cluster: tcp size must be positive, got %d", opts.Size)
+	}
+	if opts.Rank < 0 || opts.Rank >= opts.Size {
+		return nil, fmt.Errorf("cluster: tcp rank %d out of range [0,%d)", opts.Rank, opts.Size)
+	}
+	if opts.Rank > 0 && opts.Rendezvous == "" {
+		return nil, fmt.Errorf("cluster: tcp rank %d needs a rendezvous address", opts.Rank)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTCPTimeout
+	}
+	tr := &tcpTransport{
+		rank:    opts.Rank,
+		size:    opts.Size,
+		timeout: opts.Timeout,
+		box:     newMailbox(),
+		conns:   make([]net.Conn, opts.Size),
+		writers: make([]*bufio.Writer, opts.Size),
+		byes:    make([]atomic.Bool, opts.Size),
+	}
+	tr.local[0] = opts.Rank
+	if err := tr.rendezvous(opts); err != nil {
+		for _, c := range tr.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	for peer, conn := range tr.conns {
+		if conn == nil {
+			continue
+		}
+		// Rendezvous deadlines are done; steady-state stalls are bounded
+		// by the mailbox deadline instead, so clear the socket ones.
+		conn.SetDeadline(time.Time{})
+		tr.writers[peer] = bufio.NewWriterSize(conn, 1<<16)
+		tr.readers.Add(1)
+		go tr.readLoop(peer, conn)
+	}
+	return tr, nil
+}
+
+// rendezvous establishes tr.conns per the protocol in the file comment.
+func (tr *tcpTransport) rendezvous(opts TCPOptions) error {
+	listen := opts.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("cluster: tcp rendezvous: rank %d listen on %q: %w", tr.rank, listen, err)
+	}
+	defer ln.Close()
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr().String())
+	}
+	deadline := time.Now().Add(opts.Timeout)
+	if dl, ok := ln.(*net.TCPListener); ok {
+		dl.SetDeadline(deadline)
+	}
+
+	if tr.rank == 0 {
+		// Collect one hello per joining rank; the hello connection IS the
+		// mesh connection between rank 0 and that rank.
+		addrs := make([]string, tr.size)
+		addrs[0] = ln.Addr().String()
+		for joined := 1; joined < tr.size; joined++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return fmt.Errorf("cluster: tcp rendezvous: rank 0 accepted %d of %d ranks, then: %w",
+					joined-1, tr.size-1, err)
+			}
+			conn.SetDeadline(deadline)
+			typ, body, err := readFrame(conn)
+			if err != nil || typ != frameHello {
+				conn.Close()
+				return fmt.Errorf("cluster: tcp rendezvous: rank 0 bad hello (type %d): %w", typ, err)
+			}
+			peer, addr, err := decodeHelloFrame(body)
+			if err != nil {
+				conn.Close()
+				return fmt.Errorf("cluster: tcp rendezvous: rank 0 bad hello: %w", err)
+			}
+			if peer <= 0 || peer >= tr.size || tr.conns[peer] != nil {
+				conn.Close()
+				return fmt.Errorf("cluster: tcp rendezvous: rank 0 got duplicate or invalid hello from rank %d", peer)
+			}
+			tr.conns[peer] = conn
+			addrs[peer] = addr
+		}
+		table := appendTableFrame(nil, addrs)
+		for peer := 1; peer < tr.size; peer++ {
+			if err := writeFrame(tr.conns[peer], table); err != nil {
+				return fmt.Errorf("cluster: tcp rendezvous: rank 0 sending table to rank %d: %w", peer, err)
+			}
+		}
+		return nil
+	}
+
+	// Joining rank: dial rank 0, announce self + own listen address, and
+	// wait for the table.
+	conn0, err := net.DialTimeout("tcp", opts.Rendezvous, opts.Timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: tcp rendezvous: rank %d dialing rendezvous %q: %w", tr.rank, opts.Rendezvous, err)
+	}
+	conn0.SetDeadline(deadline)
+	tr.conns[0] = conn0
+	if err := writeFrame(conn0, appendHelloFrame(nil, tr.rank, ln.Addr().String())); err != nil {
+		return fmt.Errorf("cluster: tcp rendezvous: rank %d sending hello: %w", tr.rank, err)
+	}
+	typ, body, err := readFrame(conn0)
+	if err != nil || typ != frameTable {
+		return fmt.Errorf("cluster: tcp rendezvous: rank %d waiting for address table (type %d): %w", tr.rank, typ, err)
+	}
+	addrs, err := decodeTableFrame(body)
+	if err != nil || len(addrs) != tr.size {
+		return fmt.Errorf("cluster: tcp rendezvous: rank %d bad address table (%d entries): %w", tr.rank, len(addrs), err)
+	}
+
+	// Complete the mesh: dial every lower joining rank, accept every
+	// higher one. Lower ranks' listeners predate their hellos, so the
+	// dials cannot race the listen.
+	for peer := 1; peer < tr.rank; peer++ {
+		conn, err := net.DialTimeout("tcp", addrs[peer], opts.Timeout)
+		if err != nil {
+			return fmt.Errorf("cluster: tcp rendezvous: rank %d dialing rank %d at %q: %w", tr.rank, peer, addrs[peer], err)
+		}
+		conn.SetDeadline(deadline)
+		if err := writeFrame(conn, appendHelloFrame(nil, tr.rank, "")); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: tcp rendezvous: rank %d hello to rank %d: %w", tr.rank, peer, err)
+		}
+		tr.conns[peer] = conn
+	}
+	for need := tr.size - 1 - tr.rank; need > 0; need-- {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: tcp rendezvous: rank %d waiting for %d higher-rank dials: %w", tr.rank, need, err)
+		}
+		conn.SetDeadline(deadline)
+		typ, body, err := readFrame(conn)
+		if err != nil || typ != frameHello {
+			conn.Close()
+			return fmt.Errorf("cluster: tcp rendezvous: rank %d bad mesh hello (type %d): %w", tr.rank, typ, err)
+		}
+		peer, _, err := decodeHelloFrame(body)
+		if err != nil || peer <= tr.rank || peer >= tr.size || tr.conns[peer] != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: tcp rendezvous: rank %d duplicate or invalid mesh hello from rank %d", tr.rank, peer)
+		}
+		tr.conns[peer] = conn
+	}
+	return nil
+}
+
+// readLoop decodes one connection's frames into the mailbox until the
+// connection dies or the transport closes. Every decoded message is a
+// fresh allocation — it must be, the buffers belong to this process's
+// GC, not to any pool.
+func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
+	defer tr.readers.Done()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		typ, body, err := readFrame(r)
+		if err != nil {
+			// EOF after the peer said goodbye (or after we closed) is a
+			// clean departure: ranks finish the job at different times, and
+			// a finished peer closing its end must not fail stragglers.
+			// EOF without a goodbye is a dead peer — poison, so every
+			// blocked receive surfaces a rank-attributed error.
+			if !tr.closed.Load() && !tr.byes[peer].Load() {
+				tr.box.fail(fmt.Errorf("connection to rank %d lost: %w", peer, err))
+			}
+			return
+		}
+		if typ != frameData {
+			tr.box.fail(fmt.Errorf("rank %d sent unexpected frame type %d mid-job", peer, typ))
+			return
+		}
+		msg, err := decodeDataFrame(body)
+		if err != nil {
+			tr.box.fail(fmt.Errorf("undecodable frame from rank %d: %w", peer, err))
+			return
+		}
+		if msg.Tag == tagBye {
+			tr.byes[peer].Store(true)
+			continue
+		}
+		tr.box.put(msg)
+	}
+}
+
+func (tr *tcpTransport) Kind() TransportKind { return TransportTCP }
+func (tr *tcpTransport) Size() int           { return tr.size }
+func (tr *tcpTransport) Local() []int        { return tr.local[:] }
+
+// deadline converts the per-stall timeout into an absolute mailbox
+// deadline.
+func (tr *tcpTransport) deadline() time.Time {
+	return time.Now().Add(tr.timeout)
+}
+
+func (tr *tcpTransport) write(dst int, frame []byte) error {
+	w := tr.writers[dst]
+	if w == nil {
+		return fmt.Errorf("no connection to rank %d", dst)
+	}
+	if err := writeFrame(w, frame); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (tr *tcpTransport) Deliver(src *Comm, dst int, msg *Message) {
+	tr.scratch = appendDataFrame(tr.scratch[:0], msg)
+	err := tr.write(dst, tr.scratch)
+	// Recycle only the Message shell. Its payload buffers may fan out to
+	// several destinations, so they are left to the GC (payload.go): on
+	// tcp the pools only feed the send side.
+	src.release(msg)
+	if err != nil {
+		werr := fmt.Errorf("send to rank %d failed: %w", dst, err)
+		tr.box.fail(werr)
+		panic(&TransportError{Rank: src.rank, Err: werr})
+	}
+}
+
+func (tr *tcpTransport) Take(rank, src, tag int) (*Message, error) {
+	return tr.box.take(src, tag, tr.deadline())
+}
+
+func (tr *tcpTransport) TakeEach(rank int, keys []RecvKey, fn func(i int, msg *Message)) error {
+	return tr.box.takeEach(keys, fn, tr.deadline())
+}
+
+// sendControl writes a clock-free control message (reserved tag) to
+// dst. Exactly one of fl / blob may be set; both nil is a bare signal.
+func (tr *tcpTransport) sendControl(dst, tag int, fl []float64, blob []byte) error {
+	msg := Message{Src: tr.rank, Tag: tag}
+	switch {
+	case fl != nil:
+		msg.kind, msg.floats = payloadFloats, fl
+	case blob != nil:
+		msg.kind, msg.Data = payloadAny, blob
+	}
+	tr.scratch = appendDataFrame(tr.scratch[:0], &msg)
+	if err := tr.write(dst, tr.scratch); err != nil {
+		return fmt.Errorf("control send (tag %d) to rank %d failed: %w", tag, dst, err)
+	}
+	return nil
+}
+
+// BarrierWait centralizes the barrier at rank 0: arrivals report their
+// simulated time, the root answers everyone with the maximum. Max is
+// order-independent, so the released value — and with it every rank's
+// post-barrier clock — is bit-identical to the inproc CAS-max barrier.
+func (tr *tcpTransport) BarrierWait(rank int, t float64) (float64, error) {
+	if tr.size == 1 {
+		return t, nil
+	}
+	if rank == 0 {
+		maxT := t
+		for src := 1; src < tr.size; src++ {
+			msg, err := tr.box.take(src, tagBarrier, tr.deadline())
+			if err != nil {
+				return 0, fmt.Errorf("barrier: %w", err)
+			}
+			if msg.floats[0] > maxT {
+				maxT = msg.floats[0]
+			}
+		}
+		for dst := 1; dst < tr.size; dst++ {
+			if err := tr.sendControl(dst, tagBarrierRelease, []float64{maxT}, nil); err != nil {
+				return 0, fmt.Errorf("barrier: %w", err)
+			}
+		}
+		return maxT, nil
+	}
+	if err := tr.sendControl(0, tagBarrier, []float64{t}, nil); err != nil {
+		return 0, fmt.Errorf("barrier: %w", err)
+	}
+	msg, err := tr.box.take(0, tagBarrierRelease, tr.deadline())
+	if err != nil {
+		return 0, fmt.Errorf("barrier: %w", err)
+	}
+	return msg.floats[0], nil
+}
+
+// Gather funnels every rank's blob to rank 0 and acks the others, which
+// doubles as a lockstep point: when Gather returns, all of this rank's
+// prior traffic has been consumed as far as the protocol requires, so
+// a post-run Close cannot cut off in-flight data.
+func (tr *tcpTransport) Gather(rank int, blob []byte) ([][]byte, error) {
+	if rank == 0 {
+		out := make([][]byte, tr.size)
+		out[0] = append([]byte(nil), blob...)
+		for src := 1; src < tr.size; src++ {
+			msg, err := tr.box.take(src, tagGather, tr.deadline())
+			if err != nil {
+				return nil, fmt.Errorf("gather: %w", err)
+			}
+			b, _ := msg.Data.([]byte)
+			out[src] = b
+		}
+		for dst := 1; dst < tr.size; dst++ {
+			if err := tr.sendControl(dst, tagGatherAck, nil, nil); err != nil {
+				return nil, fmt.Errorf("gather: %w", err)
+			}
+		}
+		return out, nil
+	}
+	if blob == nil {
+		blob = []byte{}
+	}
+	if err := tr.sendControl(0, tagGather, nil, blob); err != nil {
+		return nil, fmt.Errorf("gather: %w", err)
+	}
+	if _, err := tr.box.take(0, tagGatherAck, tr.deadline()); err != nil {
+		return nil, fmt.Errorf("gather: %w", err)
+	}
+	return nil, nil
+}
+
+// Close tears the mesh down cleanly: says goodbye on every connection
+// (so peers still draining their side treat the EOF as a departure, not
+// a death), then closes the connections and waits for the reader
+// goroutines to drain, so a closed transport leaks nothing.
+func (tr *tcpTransport) Close() error { return tr.shutdown(true) }
+
+// Abort tears the mesh down without the goodbye handshake. Peers see a
+// bare EOF — exactly what a killed process produces — so tests use it
+// to simulate worker death in-process.
+func (tr *tcpTransport) Abort() { tr.shutdown(false) }
+
+func (tr *tcpTransport) shutdown(sayGoodbye bool) error {
+	if !tr.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if sayGoodbye {
+		bye := appendDataFrame(nil, &Message{Src: tr.rank, Tag: tagBye})
+		for _, w := range tr.writers {
+			if w != nil {
+				// Best effort: an already-dead peer can't hear the goodbye.
+				if err := writeFrame(w, bye); err == nil {
+					w.Flush()
+				}
+			}
+		}
+	}
+	for _, c := range tr.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	tr.readers.Wait()
+	return nil
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netmodel"
+)
+
+// startTCPJob brings up a P-rank TCP mesh on localhost, every rank a
+// goroutine of this test process (the transport neither knows nor cares
+// that the processes collapsed into one). Skips the test with a clear
+// reason when the sandbox forbids loopback listening. The returned
+// clusters are closed on test cleanup.
+func startTCPJob(t *testing.T, p int, params netmodel.Params, wire Wire, timeout time.Duration) []*Cluster {
+	t.Helper()
+	clusters := make([]*Cluster, p)
+	errs := make([]error, p)
+	addrCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		clusters[0], errs[0] = NewTCP(TCPOptions{
+			Rank: 0, Size: p, Timeout: timeout,
+			OnListen: func(a string) { addrCh <- a },
+		}, params, wire)
+		if errs[0] != nil {
+			close(addrCh) // wake the waiter if listen itself failed
+		}
+	}()
+	addr, ok := <-addrCh
+	if !ok {
+		wg.Wait()
+		t.Skipf("tcp transport unavailable in this sandbox (loopback listen failed): %v", errs[0])
+	}
+	for r := 1; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			clusters[r], errs[r] = NewTCP(TCPOptions{
+				Rank: r, Size: p, Rendezvous: addr, Timeout: timeout,
+			}, params, wire)
+		}(r)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		for _, c := range clusters {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d rendezvous failed: %v", r, err)
+		}
+	}
+	return clusters
+}
+
+// runTCPJob runs body on every rank of a TCP job concurrently (each
+// cluster hosts one rank) and returns the per-rank errors.
+func runTCPJob(clusters []*Cluster, body func(cm *Comm) error) []error {
+	errs := make([]error, len(clusters))
+	var wg sync.WaitGroup
+	for r, c := range clusters {
+		wg.Add(1)
+		go func(r int, c *Cluster) {
+			defer wg.Done()
+			errs[r] = c.Run(body)
+		}(r, c)
+	}
+	wg.Wait()
+	return errs
+}
+
+// leakCheck snapshots the goroutine count and fails the test if it has
+// not returned to the baseline by the end — the "clean shutdown leaks
+// nothing" guarantee of tcpTransport.Close. Call it first: cleanups run
+// last-in-first-out, so registering before startTCPJob means the check
+// runs after the clusters close.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for time.Now().Before(deadline) {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after close\n%s", before, after, buf[:n])
+	})
+}
+
+func TestTCPPingPongAllPayloadKinds(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJob(t, 2, params(), WireF64, 20*time.Second)
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			cm.SendFloats(1, 1, []float64{1, math.Copysign(0, -1), 3}, 3)
+			cm.SendFloat32s(1, 2, []float32{4, 5}, 1)
+			cm.SendChunk(1, 3, Chunk{Origin: 0, Data: []float64{6}, Aux: []int32{7}}, 2)
+			cm.SendChunks(1, 4, []Chunk{{Origin: 0, Data32: []float32{8}}, {Origin: 0, Data: []float64{9}}}, 2)
+			cm.Send(1, 5, nil, 1)
+			if got := cm.RecvFloat64(1, 6); len(got) != 1 || got[0] != 42 {
+				t.Errorf("reply: got %v", got)
+			}
+			return nil
+		}
+		fl := cm.RecvFloat64(0, 1)
+		if len(fl) != 3 || math.Float64bits(fl[1]) != math.Float64bits(math.Copysign(0, -1)) {
+			t.Errorf("floats not bit-identical: %v", fl)
+		}
+		if got := cm.RecvFloat32(0, 2); len(got) != 2 || got[1] != 5 {
+			t.Errorf("float32s: %v", got)
+		}
+		ch := cm.RecvChunk(0, 3)
+		if ch.Data[0] != 6 || ch.Aux[0] != 7 || ch.Data32 != nil {
+			t.Errorf("chunk: %+v", ch)
+		}
+		chs := cm.RecvChunks(0, 4)
+		if len(chs) != 2 || chs[0].Data32[0] != 8 || chs[1].Data[0] != 9 {
+			t.Errorf("chunks: %+v", chs)
+		}
+		if got := cm.Recv(0, 5); got != nil {
+			t.Errorf("nil payload arrived as %v", got)
+		}
+		cm.SendFloats(0, 6, []float64{42}, 1)
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestTCPConcurrentTraffic floods both directions of one connection at
+// once — sends from each rank's goroutine racing the peer's reader
+// goroutine — which is exactly what the -race run is for.
+func TestTCPConcurrentTraffic(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJob(t, 2, params(), WireF64, 20*time.Second)
+	const rounds = 400
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		peer := 1 - cm.Rank()
+		for i := 0; i < rounds; i++ {
+			buf := cm.GetFloats(8)
+			for j := range buf {
+				buf[j] = float64(i*10 + j)
+			}
+			cm.SendFloats(peer, 7, buf, len(buf))
+			ch := cm.GetChunks(1)
+			ch[0] = Chunk{Origin: cm.Rank(), Data: []float64{float64(i)}}
+			cm.SendChunks(peer, 8, ch, 1)
+		}
+		for i := 0; i < rounds; i++ {
+			got := cm.RecvFloat64(peer, 7)
+			if got[0] != float64(i*10) {
+				return errors.New("stream overtaken")
+			}
+			cm.PutFloats(got)
+			chs := cm.RecvChunks(peer, 8)
+			if chs[0].Data[0] != float64(i) {
+				return errors.New("chunk stream overtaken")
+			}
+			cm.PutChunks(chs)
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestTCPBarrierSynchronizesClocks: the centralized TCP barrier must
+// release the same max-arrival time — and therefore the same
+// post-barrier clock — as the inproc CAS-max barrier.
+func TestTCPBarrierSynchronizesClocks(t *testing.T) {
+	leakCheck(t)
+	const p = 4
+	clusters := startTCPJob(t, p, params(), WireF64, 20*time.Second)
+	times := make([]float64, p)
+	var mu sync.Mutex
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		for round := 0; round < 3; round++ {
+			cm.Clock().Sleep(float64(cm.Rank()+round) * 1e-3)
+			cm.Barrier()
+		}
+		mu.Lock()
+		times[cm.Rank()] = cm.Clock().Now()
+		mu.Unlock()
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Replay the same schedule on the inproc backend: bit-identical.
+	inproc := New(p, params())
+	want := make([]float64, p)
+	err := inproc.Run(func(cm *Comm) error {
+		for round := 0; round < 3; round++ {
+			cm.Clock().Sleep(float64(cm.Rank()+round) * 1e-3)
+			cm.Barrier()
+		}
+		want[cm.Rank()] = cm.Clock().Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range times {
+		if math.Float64bits(times[r]) != math.Float64bits(want[r]) {
+			t.Errorf("rank %d clock: tcp %v inproc %v", r, times[r], want[r])
+		}
+	}
+}
+
+// TestTCPGather: the control plane funnels every rank's blob to rank 0
+// in rank order; other ranks see nil.
+func TestTCPGather(t *testing.T) {
+	leakCheck(t)
+	const p = 3
+	clusters := startTCPJob(t, p, params(), WireF64, 20*time.Second)
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		blobs := cm.Gather([]byte{byte('a' + cm.Rank())})
+		if cm.Rank() == 0 {
+			if len(blobs) != p {
+				return errors.New("short gather")
+			}
+			for r, b := range blobs {
+				if string(b) != string(rune('a'+r)) {
+					t.Errorf("blob %d = %q", r, b)
+				}
+			}
+		} else if blobs != nil {
+			return errors.New("non-root got blobs")
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestTCPPeerDeathSurfacesError: a peer torn down mid-reduce (its
+// process killed, here simulated by slamming its connections shut) must
+// surface as a rank-attributed error from Run within the transport
+// deadline — never a hang.
+func TestTCPPeerDeathSurfacesError(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJob(t, 2, params(), WireF64, 15*time.Second)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- clusters[0].Run(func(cm *Comm) error {
+			// Blocks forever: rank 1 dies instead of sending.
+			cm.RecvFloat64(1, 9)
+			return nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let rank 0 block in the recv
+	clusters[1].Abort()               // rank 1 "killed": bare EOF, no goodbye
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rank 0 returned nil after peer death")
+		}
+		var te *TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("error is %T, want *TransportError: %v", err, err)
+		}
+		if te.Rank != 0 {
+			t.Errorf("error attributed to rank %d, want 0", te.Rank)
+		}
+		if !strings.Contains(err.Error(), "rank 1") {
+			t.Errorf("error does not name the dead peer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("rank 0 hung after peer death")
+	}
+}
+
+// TestTCPRecvDeadline: a peer that is alive but silent cannot stall a
+// receive past the transport timeout.
+func TestTCPRecvDeadline(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJob(t, 2, params(), WireF64, 1*time.Second)
+	done := make(chan error, 1)
+	go func() {
+		done <- clusters[0].Run(func(cm *Comm) error {
+			cm.RecvFloat64(1, 9) // rank 1 never sends
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "deadline") {
+			t.Fatalf("want deadline error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv did not observe its deadline")
+	}
+}
+
+// TestTCPRendezvousTimeout: a job whose peers never show up must fail
+// with an error that names the rendezvous step, within the timeout.
+func TestTCPRendezvousTimeout(t *testing.T) {
+	leakCheck(t)
+	start := time.Now()
+	_, err := NewTCP(TCPOptions{Rank: 0, Size: 2, Timeout: 500 * time.Millisecond}, params(), WireF64)
+	if err == nil {
+		t.Fatal("rendezvous with absent peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "rendezvous") {
+		t.Errorf("error does not mention rendezvous: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("rendezvous timeout took %v", elapsed)
+	}
+
+	// A joining rank pointed at an address nobody serves fails too.
+	_, err = NewTCP(TCPOptions{Rank: 1, Size: 2, Rendezvous: "127.0.0.1:1", Timeout: 500 * time.Millisecond}, params(), WireF64)
+	if err == nil {
+		t.Fatal("dialing a dead rendezvous succeeded")
+	}
+	if !strings.Contains(err.Error(), "rendezvous") {
+		t.Errorf("error does not mention rendezvous: %v", err)
+	}
+}
+
+// TestTCPReservedTagRejected: application code can never collide with
+// the transport's control tags.
+func TestTCPReservedTagRejected(t *testing.T) {
+	c := New(2, params())
+	err := c.Run(func(cm *Comm) error {
+		if cm.Rank() != 0 {
+			return nil
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("negative tag accepted")
+			}
+		}()
+		cm.SendFloats(1, tagBarrier, []float64{1}, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

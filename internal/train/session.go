@@ -8,6 +8,7 @@
 package train
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 
@@ -76,9 +77,10 @@ type Config struct {
 	Reduce allreduce.Config
 
 	// LR is the base learning rate; Schedule (optional) maps iteration →
-	// learning rate.
+	// learning rate. Schedule is process-local state, not part of the
+	// serialized configuration a worker launcher ships.
 	LR       float64
-	Schedule func(t int) float64
+	Schedule func(t int) float64 `json:"-"`
 	// Adam selects the raw-gradient + Adam structure (the paper's BERT
 	// configuration); otherwise plain SGD per Algorithm 2.
 	Adam bool
@@ -104,6 +106,18 @@ type Config struct {
 
 	// CaptureAcc enables per-iteration accumulator capture (ξ studies).
 	CaptureAcc bool
+
+	// Transport selects the cluster backend: TransportInproc (default,
+	// all P ranks as goroutines in this process) or TransportTCP (this
+	// process hosts the single rank TCP.Rank of a multi-process job).
+	// TCP sessions must be built with NewDistributedSession, which can
+	// report rendezvous failures as errors.
+	Transport cluster.TransportKind
+	// TCP configures the tcp backend for this process (rank, rendezvous
+	// address, timeout); Size is forced to P. Ignored for inproc. The
+	// field carries a callback and is process-local, so launchers rebuild
+	// it on the worker side rather than serializing it.
+	TCP cluster.TCPOptions `json:"-"`
 }
 
 // Session owns a cluster plus its per-rank trainers.
@@ -126,8 +140,29 @@ type IterStats struct {
 	IterSeconds float64    // max over ranks (the iteration's critical path)
 }
 
-// NewSession builds the cluster, workload replicas and trainers.
+// NewSession builds the cluster, workload replicas and trainers on the
+// in-process transport. TCP configurations must use
+// NewDistributedSession (rendezvous can fail, and NewSession has no
+// error path).
 func NewSession(cfg Config) *Session {
+	if cfg.Transport == cluster.TransportTCP {
+		panic("train: tcp sessions must be built with NewDistributedSession")
+	}
+	s, err := NewDistributedSession(cfg)
+	if err != nil {
+		// Unreachable for inproc: only rendezvous produces errors.
+		panic(err)
+	}
+	return s
+}
+
+// NewDistributedSession builds a session on the transport cfg.Transport
+// selects. On TransportTCP this process hosts only rank cfg.TCP.Rank:
+// Trainers and rngs keep rank indexing but hold nil for remote ranks,
+// and the call blocks in rendezvous until all P worker processes have
+// joined (or cfg.TCP.Timeout expires). The caller owns the session and
+// must Close it.
+func NewDistributedSession(cfg Config) (*Session, error) {
 	if cfg.P <= 0 {
 		panic("train: P must be positive")
 	}
@@ -152,8 +187,28 @@ func NewSession(cfg Config) *Session {
 		cfg.Reduce.SortFlops *= ratio
 		cfg.Reduce.ScanFlops *= ratio
 	}
-	s := &Session{Cfg: cfg, Cluster: cluster.NewWire(cfg.P, net, cfg.Wire)}
-	for r := 0; r < cfg.P; r++ {
+	var c *cluster.Cluster
+	switch cfg.Transport {
+	case cluster.TransportInproc, "":
+		c = cluster.NewWire(cfg.P, net, cfg.Wire)
+	case cluster.TransportTCP:
+		opts := cfg.TCP
+		opts.Size = cfg.P
+		var err error
+		c, err = cluster.NewTCP(opts, net, cfg.Wire)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		panic(fmt.Sprintf("train: unknown transport %q", cfg.Transport))
+	}
+	s := &Session{
+		Cfg:      cfg,
+		Cluster:  c,
+		Trainers: make([]*Trainer, cfg.P),
+		rngs:     make([]*rand.Rand, cfg.P),
+	}
+	for _, r := range c.LocalRanks() {
 		var w Workload
 		if r == 0 {
 			w = probe
@@ -169,33 +224,71 @@ func NewSession(cfg Config) *Session {
 		tr := NewTrainer(w, NewAlgorithm(cfg.Algorithm, cfg.Reduce), opt, cfg.Batch, cfg.Adam)
 		tr.Mode = cfg.Overlap
 		tr.CaptureAcc = cfg.CaptureAcc
-		s.Trainers = append(s.Trainers, tr)
-		s.rngs = append(s.rngs, tensor.RNG(cfg.Seed+1000+int64(r)))
+		s.Trainers[r] = tr
+		s.rngs[r] = tensor.RNG(cfg.Seed + 1000 + int64(r))
 	}
-	return s
+	return s, nil
 }
 
+// Close releases the session's cluster (TCP connections and reader
+// goroutines; a no-op for inproc).
+func (s *Session) Close() error { return s.Cluster.Close() }
+
 // N returns the gradient size of the workload.
-func (s *Session) N() int { return s.Trainers[0].W.N() }
+func (s *Session) N() int {
+	for _, tr := range s.Trainers {
+		if tr != nil {
+			return tr.W.N()
+		}
+	}
+	panic("train: session has no local trainers")
+}
 
 // Iteration returns the number of completed iterations.
 func (s *Session) Iteration() int { return s.iter }
 
-// RunIteration executes one collective training step on all ranks and
-// returns the aggregated statistics.
+// RunIteration executes one collective training step on all locally
+// hosted ranks and returns the aggregated statistics. On a
+// multi-process (tcp) session the aggregate is complete only in the
+// process hosting rank 0; other processes get their own rank's
+// contribution.
 func (s *Session) RunIteration() IterStats {
 	s.iter++
 	t := s.iter
 	if s.Cfg.Schedule != nil {
 		lr := s.Cfg.Schedule(t)
 		for _, tr := range s.Trainers {
-			tr.LR = lr
-			tr.Opt.SetLR(lr)
+			if tr != nil {
+				tr.LR = lr
+				tr.Opt.SetLR(lr)
+			}
 		}
 	}
 	stats := make([]StepStats, s.Cfg.P)
+	allLocal := s.Cluster.AllLocal()
 	err := s.Cluster.Run(func(cm *cluster.Comm) error {
-		stats[cm.Rank()] = s.Trainers[cm.Rank()].Step(cm, t, s.rngs[cm.Rank()])
+		st := s.Trainers[cm.Rank()].Step(cm, t, s.rngs[cm.Rank()])
+		if allLocal {
+			stats[cm.Rank()] = st
+			return nil
+		}
+		// Multi-process job: ship the per-rank stats over the (uncosted)
+		// control plane so the rank-0 process can aggregate. Other
+		// processes see only their own rank's contribution.
+		blob, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		blobs := cm.Gather(blob)
+		stats[cm.Rank()] = st
+		if cm.Rank() != 0 {
+			return nil
+		}
+		for r, b := range blobs {
+			if err := json.Unmarshal(b, &stats[r]); err != nil {
+				return fmt.Errorf("train: rank %d stats: %w", r, err)
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -253,6 +346,9 @@ func (s *Session) MetricName() string { return s.Trainers[0].W.MetricName() }
 // Checkpoint snapshots the session's full training state (parameters,
 // residuals, Adam moments, iteration counter) for later Restore.
 func (s *Session) Checkpoint() *checkpoint.Checkpoint {
+	if !s.Cluster.AllLocal() {
+		panic("train: checkpointing needs every rank in-process")
+	}
 	c := &checkpoint.Checkpoint{
 		Workload:  s.Cfg.Workload,
 		Algorithm: s.Cfg.Algorithm,
@@ -331,6 +427,9 @@ func (s *Session) SkipTo(iteration int) {
 // between rank 0 and any other rank — zero for a correct data-parallel
 // implementation.
 func (s *Session) ReplicaDivergence() float64 {
+	if !s.Cluster.AllLocal() {
+		panic("train: replica divergence needs every rank in-process")
+	}
 	base := s.Trainers[0].W.Params()
 	var maxDiff float64
 	for _, tr := range s.Trainers[1:] {

@@ -1,0 +1,243 @@
+package worker
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/conformance"
+)
+
+// Outcome is what a launched job produced.
+type Outcome struct {
+	// Report is the gathered conformance report (conformance jobs).
+	Report *conformance.Report
+	// Train is rank 0's training summary (train jobs).
+	Train *TrainReport
+	// Wall is the host wall-clock for the whole job, rendezvous
+	// included — the quantity modeled SimSeconds is finally comparable
+	// against.
+	Wall time.Duration
+}
+
+// LaunchOptions tunes Launch.
+type LaunchOptions struct {
+	// Forward receives rank 0's non-control stdout lines as they arrive
+	// (nil discards them).
+	Forward io.Writer
+	// Timeout bounds the whole job, spawn to exit (default: the job's
+	// receive timeout plus a scheduling margin).
+	Timeout time.Duration
+}
+
+// stderrLimit bounds how much of a failed worker's stderr is folded
+// into the launcher's error.
+const stderrLimit = 4096
+
+// boundedBuffer keeps the last stderrLimit bytes written to it.
+type boundedBuffer struct{ b bytes.Buffer }
+
+func (bb *boundedBuffer) Write(p []byte) (int, error) {
+	bb.b.Write(p)
+	if bb.b.Len() > stderrLimit {
+		bb.b.Next(bb.b.Len() - stderrLimit)
+	}
+	return len(p), nil
+}
+
+func (bb *boundedBuffer) tail() string { return strings.TrimSpace(bb.b.String()) }
+
+// workerExe resolves the binary to spawn: the EnvExe override or this
+// very executable re-executed (whose main/TestMain must call
+// ExitIfWorker).
+func workerExe() (string, error) {
+	if exe := os.Getenv(EnvExe); exe != "" {
+		return exe, nil
+	}
+	return os.Executable()
+}
+
+// Launch runs job.Size worker processes (one per rank), each executing
+// job's body over the tcp transport, and collects rank 0's report.
+// job.Rank and job.Rendezvous are assigned by the launcher. An error
+// carries the failing ranks' exit statuses and stderr tails.
+func Launch(job Job, opts LaunchOptions) (*Outcome, error) {
+	if job.Size <= 0 {
+		return nil, fmt.Errorf("worker: job size %d", job.Size)
+	}
+	exe, err := workerExe()
+	if err != nil {
+		return nil, fmt.Errorf("worker: resolving executable: %w", err)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = job.timeout() + 30*time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	start := time.Now()
+
+	procs := make([]*exec.Cmd, job.Size)
+	stderrs := make([]*boundedBuffer, job.Size)
+	spawn := func(rank int, rendezvous string) (*exec.Cmd, error) {
+		j := job
+		j.Rank, j.Rendezvous = rank, rendezvous
+		blob, err := json.Marshal(j)
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), EnvJob+"="+string(blob))
+		stderrs[rank] = &boundedBuffer{}
+		cmd.Stderr = stderrs[rank]
+		return cmd, nil
+	}
+
+	// Rank 0 goes first; its stdout announces the rendezvous address and
+	// later carries the report.
+	root, err := spawn(0, "")
+	if err != nil {
+		return nil, err
+	}
+	rootOut, err := root.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Start(); err != nil {
+		return nil, fmt.Errorf("worker: starting rank 0: %w", err)
+	}
+	procs[0] = root
+	killAll := func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+	}
+
+	type rootResult struct {
+		report *conformance.Report
+		train  *TrainReport
+		err    error
+	}
+	addrCh := make(chan string, 1)
+	resCh := make(chan rootResult, 1)
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		var res rootResult
+		sc := bufio.NewScanner(rootOut)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, rendezvousPrefix):
+				if !announced {
+					announced = true
+					addrCh <- strings.TrimPrefix(line, rendezvousPrefix)
+				}
+			case strings.HasPrefix(line, reportPrefix):
+				res.report = &conformance.Report{}
+				res.err = json.Unmarshal([]byte(strings.TrimPrefix(line, reportPrefix)), res.report)
+			case strings.HasPrefix(line, trainPrefix):
+				res.train = &TrainReport{}
+				res.err = json.Unmarshal([]byte(strings.TrimPrefix(line, trainPrefix)), res.train)
+			default:
+				if opts.Forward != nil {
+					fmt.Fprintln(opts.Forward, line)
+				}
+			}
+		}
+		if res.err == nil {
+			res.err = sc.Err()
+		}
+		if !announced {
+			close(addrCh) // rank 0 died before binding
+		}
+		resCh <- res
+	}()
+
+	var addr string
+	var announced bool
+	select {
+	case addr, announced = <-addrCh:
+	case <-time.After(time.Until(deadline)):
+	}
+	if !announced {
+		killAll()
+		<-scanDone
+		root.Wait()
+		return nil, fmt.Errorf("worker: rank 0 produced no rendezvous address: %s", stderrs[0].tail())
+	}
+
+	for r := 1; r < job.Size; r++ {
+		cmd, err := spawn(r, addr)
+		if err == nil {
+			cmd.Stdout = nil // only rank 0 reports
+			err = cmd.Start()
+		}
+		if err != nil {
+			killAll()
+			<-scanDone
+			for _, p := range procs {
+				if p != nil {
+					p.Wait()
+				}
+			}
+			return nil, fmt.Errorf("worker: starting rank %d: %w", r, err)
+		}
+		procs[r] = cmd
+	}
+
+	// Reap every rank under the deadline; a stuck worker is killed, and
+	// the failure report names each bad rank with its stderr tail.
+	waitErrs := make([]error, job.Size)
+	done := make(chan struct{})
+	go func() {
+		// Rank 0's Wait would close the stdout pipe out from under the
+		// scanner; drain to EOF first.
+		<-scanDone
+		for r, p := range procs {
+			waitErrs[r] = p.Wait()
+		}
+		close(done)
+	}()
+	timedOut := false
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+		timedOut = true
+		killAll()
+		<-done
+	}
+	wall := time.Since(start)
+	res := <-resCh
+
+	var failures []string
+	for r, werr := range waitErrs {
+		if werr == nil {
+			continue
+		}
+		msg := fmt.Sprintf("rank %d: %v", r, werr)
+		if tail := stderrs[r].tail(); tail != "" {
+			msg += ": " + tail
+		}
+		failures = append(failures, msg)
+	}
+	if timedOut {
+		failures = append([]string{fmt.Sprintf("job exceeded %v and was killed", timeout)}, failures...)
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("worker: %s", strings.Join(failures, "; "))
+	}
+	if res.err != nil {
+		return nil, fmt.Errorf("worker: rank 0 output: %w", res.err)
+	}
+	return &Outcome{Report: res.report, Train: res.train, Wall: wall}, nil
+}

@@ -1,0 +1,258 @@
+// Package worker hosts one rank of a multi-process (tcp-transport) job
+// and launches such jobs.
+//
+// A worker process is an ordinary repro binary re-executed with the
+// OKTOPK_WORKER_JOB environment variable set to a JSON-encoded Job.
+// Every entrypoint that can act as a launcher (cmd/oktopk-bench,
+// cmd/oktopk-train, cmd/oktopk-worker, and the test binaries that spawn
+// real processes) calls ExitIfWorker first thing in main/TestMain, so
+// the re-exec runs the job body instead of the normal command.
+//
+// The wire protocol between launcher and workers is one line each on
+// rank 0's stdout:
+//
+//	OKTOPK_RENDEZVOUS <addr>   rank 0's bound listen address, printed
+//	                           before rendezvous blocks; the launcher
+//	                           hands it to ranks 1..P-1
+//	OKTOPK_REPORT <json>       a conformance.Report (conformance jobs)
+//	OKTOPK_TRAIN <json>        a TrainReport (train jobs)
+//
+// All other stdout lines are human progress output the launcher relays.
+// Failures are rank-attributed on stderr and via the exit status; the
+// launcher folds each failed rank's stderr tail into its error.
+package worker
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/conformance"
+	"repro/internal/netmodel"
+	"repro/internal/train"
+)
+
+const (
+	// EnvJob carries the JSON-encoded Job of a worker process. Its
+	// presence is what makes a process a worker.
+	EnvJob = "OKTOPK_WORKER_JOB"
+	// EnvExe overrides the executable the launcher spawns (default: the
+	// launcher's own binary, re-executed). Tests point it at the test
+	// binary; users can point it at a dedicated oktopk-worker build.
+	EnvExe = "OKTOPK_WORKER_EXE"
+
+	// rendezvousPrefix etc. are the stdout control-line markers.
+	rendezvousPrefix = "OKTOPK_RENDEZVOUS "
+	reportPrefix     = "OKTOPK_REPORT "
+	trainPrefix      = "OKTOPK_TRAIN "
+)
+
+// Job is the serialized description of one worker process's share of a
+// multi-process run.
+type Job struct {
+	// Kind selects the job body: "conformance" or "train".
+	Kind string
+	// Rank and Size identify this worker within the job.
+	Rank, Size int
+	// Rendezvous is rank 0's listen address (empty for rank 0, which
+	// binds and announces it).
+	Rendezvous string
+	// TimeoutSec bounds rendezvous and every receive stall (default
+	// cluster.DefaultTCPTimeout).
+	TimeoutSec float64
+	// Wire is the collective wire format.
+	Wire cluster.Wire
+
+	// Params are the α-β machine constants for conformance jobs (train
+	// jobs derive theirs from the workload, like any session).
+	Params netmodel.Params `json:",omitempty"`
+	// Spec is the conformance job body. CrashRank/CrashIter are honored
+	// by the worker: the crashing rank re-attaches os.Exit as the Crash
+	// action, so injection kills a real process mid-reduce.
+	Spec *conformance.Spec `json:",omitempty"`
+
+	// Train is the train job body.
+	Train *TrainJob `json:",omitempty"`
+}
+
+// TrainJob describes a distributed training run. Config's Transport/TCP
+// fields are ignored on the wire — each worker fills its own.
+type TrainJob struct {
+	Config train.Config
+	// Iters is the number of training iterations.
+	Iters int
+	// EvalEvery prints a progress line every N iterations (0 = final
+	// iteration only).
+	EvalEvery int
+}
+
+// TrainReport is rank 0's summary of a distributed training run,
+// printed as the OKTOPK_TRAIN line. SimSeconds is modeled time — the
+// authoritative quantity for figures; the launcher pairs it with the
+// host wall-clock it measured around the whole job.
+type TrainReport struct {
+	Iters      int
+	SimSeconds float64 // sum of per-iteration modeled critical paths
+	Loss       float64 // final-iteration mean loss over ranks
+	Metric     float64 // final held-out metric (rank-0 replica)
+	MetricName string
+}
+
+// ExitIfWorker turns this process into a worker when EnvJob is set: it
+// runs the job body and exits. A no-op otherwise. Call it first thing
+// in main (and in TestMain of packages whose tests launch real worker
+// processes).
+func ExitIfWorker() {
+	blob := os.Getenv(EnvJob)
+	if blob == "" {
+		return
+	}
+	os.Exit(runJob(blob))
+}
+
+// runJob executes one worker's job body and returns the process exit
+// code.
+func runJob(blob string) int {
+	var job Job
+	if err := json.Unmarshal([]byte(blob), &job); err != nil {
+		fmt.Fprintf(os.Stderr, "oktopk-worker: bad %s: %v\n", EnvJob, err)
+		return 2
+	}
+	switch job.Kind {
+	case "conformance":
+		return runConformance(job)
+	case "train":
+		return runTrain(job)
+	}
+	fmt.Fprintf(os.Stderr, "oktopk-worker: unknown job kind %q\n", job.Kind)
+	return 2
+}
+
+// timeout returns the job's receive/rendezvous bound.
+func (job Job) timeout() time.Duration {
+	if job.TimeoutSec <= 0 {
+		return cluster.DefaultTCPTimeout
+	}
+	return time.Duration(job.TimeoutSec * float64(time.Second))
+}
+
+// announce prints the rendezvous control line (rank 0 only; the
+// launcher scans for it).
+func announce(addr string) {
+	fmt.Printf("%s%s\n", rendezvousPrefix, addr)
+}
+
+// tcpOptions builds this worker's transport options.
+func (job Job) tcpOptions() cluster.TCPOptions {
+	opts := cluster.TCPOptions{
+		Rank: job.Rank, Size: job.Size,
+		Rendezvous: job.Rendezvous,
+		Timeout:    job.timeout(),
+	}
+	if job.Rank == 0 {
+		opts.OnListen = announce
+	}
+	return opts
+}
+
+func runConformance(job Job) int {
+	if job.Spec == nil {
+		fmt.Fprintln(os.Stderr, "oktopk-worker: conformance job without a spec")
+		return 2
+	}
+	c, err := cluster.NewTCP(job.tcpOptions(), job.Params, job.Wire)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oktopk-worker: rank %d: %v\n", job.Rank, err)
+		return 1
+	}
+	defer c.Close()
+	spec := *job.Spec
+	if spec.CrashIter > 0 && job.Rank == spec.CrashRank {
+		// Injection is the real thing here: the process dies mid-reduce,
+		// the peers' transports must surface it.
+		spec.Crash = func() { os.Exit(3) }
+	}
+	rep, err := conformance.Run(c, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oktopk-worker: rank %d: %v\n", job.Rank, err)
+		return 1
+	}
+	if rep != nil {
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oktopk-worker: rank %d: %v\n", job.Rank, err)
+			return 1
+		}
+		fmt.Printf("%s%s\n", reportPrefix, blob)
+	}
+	return 0
+}
+
+func runTrain(job Job) int {
+	if job.Train == nil {
+		fmt.Fprintln(os.Stderr, "oktopk-worker: train job without a config")
+		return 2
+	}
+	cfg := job.Train.Config
+	cfg.P = job.Size
+	cfg.Wire = job.Wire
+	cfg.Transport = cluster.TransportTCP
+	cfg.TCP = job.tcpOptions()
+	s, err := train.NewDistributedSession(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oktopk-worker: rank %d: %v\n", job.Rank, err)
+		return 1
+	}
+	defer s.Close()
+	if err := trainBody(s, job); err != nil {
+		fmt.Fprintf(os.Stderr, "oktopk-worker: rank %d: %v\n", job.Rank, err)
+		return 1
+	}
+	return 0
+}
+
+// trainBody runs the iterations, converting the session's transport
+// panics (how a dead peer surfaces mid-collective) into an error.
+func trainBody(s *train.Session, job Job) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if te, ok := p.(*cluster.TransportError); ok {
+				err = te
+				return
+			}
+			panic(p)
+		}
+	}()
+	root := job.Rank == 0
+	var elapsed float64
+	var last train.IterStats
+	for it := 1; it <= job.Train.Iters; it++ {
+		st := s.RunIteration()
+		if !root {
+			continue
+		}
+		elapsed += st.IterSeconds
+		last = st
+		if ev := job.Train.EvalEvery; ev > 0 && it%ev == 0 && it != job.Train.Iters {
+			fmt.Printf("iter %5d  modeled-time %8.2fs  loss %7.4f\n", it, elapsed, st.Loss)
+		}
+	}
+	if !root {
+		return nil
+	}
+	rep := TrainReport{
+		Iters:      job.Train.Iters,
+		SimSeconds: elapsed,
+		Loss:       last.Loss,
+		Metric:     s.Evaluate(200),
+		MetricName: s.MetricName(),
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s%s\n", trainPrefix, blob)
+	return nil
+}
