@@ -59,6 +59,8 @@ var (
 		"directory to record per-configuration message traces into (final training iteration of each weak-scaling/convergence config)")
 	transport = flag.String("transport", "inproc",
 		"cluster backend for transport-aware experiments: inproc (default; all figures, deterministic) or tcp (the tcpsmoke runner trains over one worker process per rank and reports wall-clock)")
+	netTimeout = flag.Duration("net-timeout", 0,
+		"tcp rendezvous/receive timeout for -transport tcp jobs (0 = default 300s for bench jobs)")
 )
 
 func scale() experiments.Scale {
@@ -100,9 +102,13 @@ func main() {
 	}
 	experiments.SetTransport(tk)
 	if tk == cluster.TransportTCP {
+		timeoutSec := 300.0
+		if *netTimeout > 0 {
+			timeoutSec = netTimeout.Seconds()
+		}
 		experiments.SetTCPTrainRunner(func(cfg train.Config, iters int) (experiments.TCPTrainResult, error) {
 			out, err := worker.Launch(worker.Job{
-				Kind: "train", Size: cfg.P, Wire: cfg.Wire, TimeoutSec: 300,
+				Kind: "train", Size: cfg.P, Wire: cfg.Wire, TimeoutSec: timeoutSec,
 				Train: &worker.TrainJob{Config: cfg, Iters: iters},
 			}, worker.LaunchOptions{})
 			if err != nil {

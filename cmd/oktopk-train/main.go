@@ -6,14 +6,15 @@
 //
 // Long convergence studies can stop and resume: -checkpoint FILE saves
 // the full training state (parameters, residuals, Adam moments,
-// iteration counter) every -ckpt-every iterations and at exit, and
-// -resume FILE restores a previous checkpoint and continues to -iters.
-// The continuation reproduces the uninterrupted trajectory bit-for-bit
-// when the checkpoint falls on a τ/τ′ boundary (pick -ckpt-every as a
+// per-rank modeled clocks, iteration counter) every -ckpt-every
+// iterations and at exit, and -resume FILE restores a previous
+// checkpoint and continues to -iters. The continuation reproduces the
+// uninterrupted trajectory bit-for-bit — loss, metric, and the
+// modeled-time column, which stays continuous across the resume — when
+// the checkpoint falls on a τ/τ′ boundary (pick -ckpt-every as a
 // multiple of both periods; sparse algorithms re-evaluate thresholds
 // and region boundaries there, so no unserialized selection state is
-// lost). The modeled-time column counts iterations run by this
-// process. -trace FILE records the final iteration's message trace
+// lost). -trace FILE records the final iteration's message trace
 // (per-rank summary plus timeline) for offline analysis.
 //
 // -transport tcp runs the session as a real multi-process job: the
@@ -21,14 +22,26 @@
 // form a TCP mesh (rank 0 is the rendezvous point), and the identical
 // collectives run over real sockets. Modeled time stays authoritative
 // and bit-identical to an inproc run; the summary additionally reports
-// the job's host wall-clock. Checkpointing, resume and tracing need the
-// inproc transport.
+// the job's host wall-clock. Tracing needs the inproc transport;
+// checkpoint/resume work on both.
+//
+// The tcp job is fault tolerant. Failure detection: every frame is
+// CRC-checked, and heartbeat probes (-hb-interval, -hb-miss) declare a
+// dead or wedged peer within interval×misses even when its socket
+// stays open; the first failure is broadcast so all ranks stop
+// promptly, each with a rank-attributed error. -net-timeout bounds
+// rendezvous and every receive stall. Recovery: with -checkpoint set,
+// a failed job is relaunched up to -max-restarts times (doubling
+// -restart-backoff between attempts), resuming from the last
+// checkpoint; the recovered run's loss, metric, and modeled time are
+// bit-identical to an unfailed run's.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/allreduce"
 	"repro/internal/checkpoint"
@@ -64,6 +77,12 @@ func main() {
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N iterations (0 = only at exit; needs -checkpoint)")
 		resume    = flag.String("resume", "", "restore a -checkpoint file and continue the run to -iters")
 		transport = flag.String("transport", "inproc", "cluster backend: inproc (all ranks in this process) or tcp (one worker process per rank; reports wall-clock alongside modeled time)")
+
+		netTimeout     = flag.Duration("net-timeout", 0, "tcp rendezvous/receive timeout (0 = default 60s)")
+		hbInterval     = flag.Duration("hb-interval", 0, "tcp heartbeat interval (0 = default 1s; negative disables heartbeats)")
+		hbMiss         = flag.Int("hb-miss", 0, "missed heartbeats before a peer is declared dead (0 = default 3)")
+		maxRestarts    = flag.Int("max-restarts", 2, "tcp job relaunch attempts after a failure (needs -checkpoint to resume progress; 0 = fail fast)")
+		restartBackoff = flag.Duration("restart-backoff", 0, "sleep before the first tcp relaunch, doubling per attempt (0 = default 250ms)")
 	)
 	flag.Parse()
 	tensor.SetWorkers(*workers)
@@ -111,14 +130,20 @@ func main() {
 		os.Exit(2)
 	}
 	if tk == cluster.TransportTCP {
-		if *ckptFile != "" || *resume != "" || *traceFile != "" {
-			fmt.Fprintln(os.Stderr, "oktopk-train: -checkpoint/-resume/-trace need the inproc transport")
+		if *traceFile != "" {
+			fmt.Fprintln(os.Stderr, "oktopk-train: -trace needs the inproc transport")
 			os.Exit(2)
 		}
-		os.Exit(runTCP(cfg, *iters, *evalEvery))
+		os.Exit(runTCP(cfg, tcpRun{
+			iters: *iters, evalEvery: *evalEvery,
+			ckpt: *ckptFile, ckptEvery: *ckptEvery, resume: *resume,
+			timeout: *netTimeout, hbInterval: *hbInterval, hbMiss: *hbMiss,
+			maxRestarts: *maxRestarts, backoff: *restartBackoff,
+		}))
 	}
 	s := train.NewSession(cfg)
 	startIter := 1
+	var elapsed float64
 	if *resume != "" {
 		ck, err := checkpoint.LoadFile(*resume)
 		if err != nil {
@@ -131,6 +156,7 @@ func main() {
 			os.Exit(1)
 		}
 		startIter = ck.Iteration + 1
+		elapsed = ck.SimSeconds
 		fmt.Printf("resumed %s/%s from %s at iteration %d\n", *workload, *algo, *resume, ck.Iteration)
 	}
 	fmt.Printf("training %s with %s on %d workers (n=%d, k=%d, batch=%d/worker)\n",
@@ -140,13 +166,14 @@ func main() {
 		if *ckptFile == "" {
 			return
 		}
-		if err := s.Checkpoint().SaveFile(*ckptFile); err != nil {
+		c := s.Checkpoint()
+		c.SimSeconds = elapsed
+		if err := c.SaveFile(*ckptFile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
 	var rec *trace.Recorder
-	var elapsed float64
 	for it := startIter; it <= *iters; it++ {
 		if *traceFile != "" && it == *iters {
 			// Record only the final iteration: the steady-state schedule
@@ -192,17 +219,42 @@ func main() {
 	}
 }
 
+// tcpRun bundles the tcp-job knobs of the command line.
+type tcpRun struct {
+	iters, evalEvery int
+	ckpt             string
+	ckptEvery        int
+	resume           string
+	timeout          time.Duration
+	hbInterval       time.Duration
+	hbMiss           int
+	maxRestarts      int
+	backoff          time.Duration
+}
+
 // runTCP executes the run as a real multi-process job: one worker
-// process per rank over the TCP transport. Rank 0's progress lines are
-// relayed, and the summary pairs the authoritative modeled time with
-// the job's measured host wall-clock.
-func runTCP(cfg train.Config, iters, evalEvery int) int {
+// process per rank over the TCP transport, relaunched from the last
+// checkpoint on failure (up to -max-restarts times). Rank 0's progress
+// lines are relayed, and the summary pairs the authoritative modeled
+// time with the job's measured host wall-clock.
+func runTCP(cfg train.Config, r tcpRun) int {
 	fmt.Printf("training %s with %s on %d workers (tcp transport, one process per rank)\n",
 		cfg.Workload, cfg.Algorithm, cfg.P)
-	out, err := worker.Launch(worker.Job{
+	job := worker.Job{
 		Kind: "train", Size: cfg.P, Wire: cfg.Wire,
-		Train: &worker.TrainJob{Config: cfg, Iters: iters, EvalEvery: evalEvery},
-	}, worker.LaunchOptions{Forward: os.Stdout})
+		TimeoutSec:      r.timeout.Seconds(),
+		HeartbeatMS:     int(r.hbInterval / time.Millisecond),
+		HeartbeatMisses: r.hbMiss,
+		Train: &worker.TrainJob{
+			Config: cfg, Iters: r.iters, EvalEvery: r.evalEvery,
+			Checkpoint: r.ckpt, CkptEvery: r.ckptEvery, Resume: r.resume,
+		},
+	}
+	if r.hbInterval < 0 {
+		job.HeartbeatMS = -1 // sub-millisecond negatives still disable
+	}
+	out, err := worker.LaunchWithRecovery(job, worker.LaunchOptions{Forward: os.Stdout},
+		worker.RestartPolicy{MaxAttempts: r.maxRestarts + 1, Backoff: r.backoff})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -213,7 +265,14 @@ func runTCP(cfg train.Config, iters, evalEvery int) int {
 	}
 	fmt.Printf("iter %5d  modeled-time %8.2fs  loss %7.4f  %s %.4f\n",
 		out.Train.Iters, out.Train.SimSeconds, out.Train.Loss, out.Train.MetricName, out.Train.Metric)
-	fmt.Printf("wall-clock %.2fs for %.2fs modeled (%d processes)\n",
-		out.Wall.Seconds(), out.Train.SimSeconds, cfg.P)
+	// The attempt count only appears when a relaunch actually happened, so
+	// an unfailed run's output stays format-identical to earlier releases.
+	if out.Attempts > 1 {
+		fmt.Printf("wall-clock %.2fs for %.2fs modeled (%d processes, %d attempts)\n",
+			out.Wall.Seconds(), out.Train.SimSeconds, cfg.P, out.Attempts)
+	} else {
+		fmt.Printf("wall-clock %.2fs for %.2fs modeled (%d processes)\n",
+			out.Wall.Seconds(), out.Train.SimSeconds, cfg.P)
+	}
 	return 0
 }

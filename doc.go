@@ -36,6 +36,9 @@
 //	internal/trace       per-message event recording and timelines
 //	internal/experiments runner registry + parallel experiment scheduler
 //	internal/worker      multi-process worker entrypoint and launcher
+//	                     with a checkpoint-based restart policy
+//	internal/chaos       deterministic fault-injection plans + chaos
+//	                     conformance suite
 //	internal/conformance cross-backend (inproc vs tcp) conformance suite
 //	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)
 //	cmd/oktopk-train     run one training configuration
@@ -66,6 +69,20 @@
 // authoritative and bit-identical across backends (pinned by the
 // internal/conformance suite); TCP runs additionally report host
 // wall-clock. See DESIGN.md's "Transport layer" section.
+//
+// The TCP job is fault-tolerant: frames carry CRC32-C checksums (silent
+// corruption becomes a rank-attributed error), heartbeat frames detect
+// dead or wedged peers within interval×misses (-hb-interval/-hb-miss;
+// -net-timeout bounds rendezvous and receives), and the detecting rank
+// broadcasts an abort so every survivor fails promptly. With
+// -checkpoint set, oktopk-train -transport tcp relaunches a failed job
+// from the last checkpoint (-max-restarts/-restart-backoff) and the
+// recovered run is bit-identical — loss, metric, modeled clock — to an
+// unfailed one. internal/chaos drives all of this deterministically:
+// seed-derived fault plans (kill/wedge/corrupt/drop/stall/delay at an
+// exact rank and frame) feed a transport hook, and the chaos
+// conformance suite enforces the error-or-identical dichotomy. See
+// DESIGN.md's "Failure model" section.
 //
 // The Dense(Ovlp) baseline's backward/communication overlap is
 // simulated from first principles rather than discounted: models

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/netmodel"
 )
 
 // RankState is one worker's serialized training state.
@@ -23,6 +25,12 @@ type RankState struct {
 	// AdamM/AdamV are nil for plain SGD.
 	AdamM, AdamV []float64
 	AdamT        int
+	// Clock is the rank's absolute modeled-clock state. Restoring it
+	// (not just an elapsed total) is what makes a recovered run's
+	// modeled time bit-identical to an unfailed one: float addition is
+	// not translation-invariant. Old checkpoints decode it as zero,
+	// which reproduces the pre-clock-capture behavior.
+	Clock netmodel.ClockState
 }
 
 // Checkpoint is a full training snapshot.
@@ -30,7 +38,11 @@ type Checkpoint struct {
 	Workload  string
 	Algorithm string
 	Iteration int
-	Ranks     []RankState
+	// SimSeconds is the job-level modeled time accumulated by rank 0 up
+	// to and including Iteration (the value the training loop reports),
+	// so a resumed run continues the same running total.
+	SimSeconds float64
+	Ranks      []RankState
 }
 
 // Save writes the checkpoint with gob encoding.

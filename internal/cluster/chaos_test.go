@@ -1,0 +1,257 @@
+package cluster
+
+// Transport-level fault-injection tests: each injected fault must
+// surface as a prompt, rank-attributed error (or, for stalls, change
+// nothing at all), and no goroutines or sockets may outlive the
+// transport. The seed-driven plan layer on top lives in internal/chaos;
+// here the hooks are handwritten so each failure mode is exercised in
+// isolation.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testHook fires one fault at a fixed data-frame number.
+type testHook struct {
+	frame  int
+	action FaultAction
+	wall   time.Duration
+	peer   int
+}
+
+func (h *testHook) OnFrame(rank, dst, frame int) FaultDecision {
+	if frame == h.frame {
+		return FaultDecision{Action: h.action, Wall: h.wall, Peer: h.peer}
+	}
+	return FaultDecision{}
+}
+
+// hookFor installs hook on rank r of a startTCPJobOpts mesh.
+func hookFor(r int, hook FaultHook) func(int, *TCPOptions) {
+	return func(rank int, o *TCPOptions) {
+		if rank == r {
+			o.Hook = hook
+		}
+	}
+}
+
+// TestTCPCorruptFrameAttributed: a frame corrupted on the wire fails
+// the receiver with the sending rank named, and the abort broadcast
+// poisons the sender with the receiver's reason instead of leaving it
+// blocked until its own deadline.
+func TestTCPCorruptFrameAttributed(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJobOpts(t, 2, params(), WireF64, 30*time.Second,
+		hookFor(1, &testHook{frame: 1, action: FaultCorrupt, peer: -1}))
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			cm.SendFloats(0, 3, []float64{1, 2, 3}, 3)
+			cm.RecvFloat64(0, 4) // never sent: poisoned by the abort broadcast
+			return nil
+		}
+		cm.RecvFloat64(1, 3)
+		return nil
+	})
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "corrupt frame from rank 1") {
+		t.Errorf("rank 0: got %v, want corrupt-frame error naming rank 1", errs[0])
+	}
+	var te *TransportError
+	if !errors.As(errs[0], &te) {
+		t.Errorf("rank 0 error is %T, want *TransportError", errs[0])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "aborted by rank 0") {
+		t.Errorf("rank 1: got %v, want abort broadcast from rank 0", errs[1])
+	}
+}
+
+// TestTCPWedgeDetectedByHeartbeat: a rank that goes silent without
+// dying — socket open, no traffic — is detected within the heartbeat
+// budget (interval × misses), not at the 60s receive deadline.
+func TestTCPWedgeDetectedByHeartbeat(t *testing.T) {
+	leakCheck(t)
+	const interval, misses = 50 * time.Millisecond, 3
+	clusters := startTCPJobOpts(t, 2, params(), WireF64, 60*time.Second,
+		func(r int, o *TCPOptions) {
+			o.HeartbeatInterval = interval
+			o.HeartbeatMisses = misses
+			if r == 1 {
+				o.Hook = &testHook{frame: 1, action: FaultWedge}
+			}
+		})
+
+	wedged := make(chan error, 1)
+	go func() {
+		wedged <- clusters[1].Run(func(cm *Comm) error {
+			cm.SendFloats(0, 3, []float64{1}, 1) // wedges inside this send
+			return nil
+		})
+	}()
+
+	start := time.Now()
+	err := clusters[0].Run(func(cm *Comm) error {
+		cm.RecvFloat64(1, 3)
+		return nil
+	})
+	detect := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "rank 1 missed") {
+		t.Fatalf("rank 0: got %v, want heartbeat-miss error naming rank 1", err)
+	}
+	// Well under the 60s deadline: the budget is 150ms, the bound here
+	// is loose only for heavily loaded -race runs.
+	if detect > 15*time.Second {
+		t.Errorf("detection took %v, want O(heartbeat budget)", detect)
+	}
+
+	// Release the wedged rank (the launcher's grace kill, in-process)
+	// and confirm it surfaces the wedge as a transport error.
+	clusters[1].Abort()
+	select {
+	case werr := <-wedged:
+		if werr == nil || !strings.Contains(werr.Error(), "wedged") {
+			t.Errorf("wedged rank: got %v, want wedge error", werr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wedged rank did not unblock after Abort")
+	}
+}
+
+// TestTCPStallKeepsResultsBitIdentical: a stalled (straggler) rank
+// burns host time only — the modeled clocks, and therefore every
+// result, stay bit-identical to an unstalled run.
+func TestTCPStallKeepsResultsBitIdentical(t *testing.T) {
+	leakCheck(t)
+	body := func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			buf := cm.GetFloats(4)
+			for i := range buf {
+				buf[i] = float64(i) * 1.25
+			}
+			cm.SendFloats(0, 3, buf, len(buf))
+		} else {
+			got := cm.RecvFloat64(1, 3)
+			cm.Clock().Compute(float64(len(got)) * 100)
+			cm.PutFloats(got)
+		}
+		cm.Barrier()
+		return nil
+	}
+	run := func(stall bool) [2]float64 {
+		custom := func(r int, o *TCPOptions) {}
+		if stall {
+			custom = hookFor(1, &testHook{frame: 1, action: FaultStall, wall: 150 * time.Millisecond})
+		}
+		clusters := startTCPJobOpts(t, 2, params(), WireF64, 30*time.Second, custom)
+		for _, err := range runTCPJob(clusters, body) {
+			if err != nil {
+				t.Fatalf("job failed: %v", err)
+			}
+		}
+		var out [2]float64
+		for r, c := range clusters {
+			out[r] = c.Stats()[r].Time
+		}
+		for _, c := range clusters {
+			c.Close()
+		}
+		return out
+	}
+	clean := run(false)
+	stalled := run(true)
+	for r := range clean {
+		if math.Float64bits(clean[r]) != math.Float64bits(stalled[r]) {
+			t.Errorf("rank %d modeled clock: clean %v, stalled %v", r, clean[r], stalled[r])
+		}
+	}
+}
+
+// TestTCPDropSurfacesError: a severed connection fails both ends with
+// the peer named.
+func TestTCPDropSurfacesError(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJobOpts(t, 2, params(), WireF64, 30*time.Second,
+		hookFor(1, &testHook{frame: 2, action: FaultDrop, peer: -1}))
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			cm.SendFloats(0, 3, []float64{1}, 1)
+			cm.SendFloats(0, 4, []float64{2}, 1) // connection severed here
+			return nil
+		}
+		cm.RecvFloat64(1, 3)
+		cm.RecvFloat64(1, 4)
+		return nil
+	})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "send to rank 0 failed") {
+		t.Errorf("rank 1: got %v, want failed send", errs[1])
+	}
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "rank 1") {
+		t.Errorf("rank 0: got %v, want error naming rank 1", errs[0])
+	}
+}
+
+// TestTCPAbortBroadcastPoisonsBystander: a rank that never observed the
+// fault directly — no bad frame, no dead connection of its own — is
+// poisoned promptly by the detecting rank's abort broadcast rather than
+// stalling to its own 60s deadline.
+func TestTCPAbortBroadcastPoisonsBystander(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJobOpts(t, 3, params(), WireF64, 60*time.Second,
+		hookFor(1, &testHook{frame: 1, action: FaultCorrupt, peer: -1}))
+	start := time.Now()
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		switch cm.Rank() {
+		case 1:
+			cm.SendFloats(0, 3, []float64{1}, 1) // corrupted on the wire
+			cm.RecvFloat64(0, 5)
+		case 0:
+			cm.RecvFloat64(1, 3) // detects the corruption
+		case 2:
+			cm.RecvFloat64(0, 4) // pure bystander: waits on innocent rank 0
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "aborted by rank 0") {
+		t.Errorf("bystander: got %v, want the abort broadcast", errs[2])
+	}
+	if elapsed > 15*time.Second {
+		t.Errorf("bystander poisoned after %v, want prompt abort", elapsed)
+	}
+}
+
+// TestTCPKillFaultSurfacesAsTransportError: an in-process FaultKill
+// (no OnKill installed) aborts the transport and panics a transport
+// error, and the peer observes the bare EOF a crashed process leaves.
+func TestTCPKillFaultSurfacesAsTransportError(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJobOpts(t, 2, params(), WireF64, 30*time.Second,
+		hookFor(1, &testHook{frame: 1, action: FaultKill}))
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		if cm.Rank() == 1 {
+			cm.SendFloats(0, 3, []float64{1}, 1) // dies here
+			return nil
+		}
+		cm.RecvFloat64(1, 3)
+		return nil
+	})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "killed by fault plan") {
+		t.Errorf("rank 1: got %v, want kill error", errs[1])
+	}
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "rank 1") {
+		t.Errorf("rank 0: got %v, want error naming the dead rank", errs[0])
+	}
+}
+
+// TestTCPNoLeakAfterAbort: Abort mid-traffic (the simulated kill) winds
+// down every reader and heartbeat goroutine and socket; leakCheck's
+// cleanup asserts the goroutine count returns to baseline.
+func TestTCPNoLeakAfterAbort(t *testing.T) {
+	leakCheck(t)
+	clusters := startTCPJob(t, 3, params(), WireF64, 30*time.Second)
+	for _, c := range clusters {
+		c.Abort()
+	}
+}

@@ -1,15 +1,23 @@
 package cluster
 
 // Wire frames for the tcp transport: every message crosses a connection
-// as one length-prefixed frame,
+// as one length-prefixed, checksummed frame,
 //
-//	[u32 length][u8 type][body…]
+//	[u32 length][u8 type][body…][u32 crc]
 //
 // with all integers little-endian and every float64/float32 shipped as
 // its IEEE-754 bit pattern (math.Float64bits / Float32bits). Bit-pattern
 // encoding is what lets the conformance suite demand *bit-identical*
 // reduce results across backends: a value survives the wire exactly,
 // including negative zeros and subnormals.
+//
+// length counts the type byte plus the body (not the trailer); crc is
+// the CRC32-C (Castagnoli) of type+body. A reader verifies the checksum
+// before decoding anything, so a flipped bit anywhere in a frame
+// surfaces as ErrFrameCorrupt with the sending rank attributed by the
+// transport — never as a silently wrong gradient. The length prefix is
+// bounded by maxFrameBody before any allocation, so a corrupt or
+// hostile prefix cannot provoke a giant allocation either.
 //
 // frameData carries one Message with the same typed payload kinds the
 // inproc mailbox passes by pointer (floats, floats32, Chunk, []Chunk,
@@ -23,7 +31,9 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -35,8 +45,31 @@ const (
 )
 
 // maxFrameBody bounds a frame a reader will accept: a corrupt or
-// malicious length prefix must not provoke a giant allocation.
-const maxFrameBody = 1 << 30
+// malicious length prefix must not provoke a giant allocation. 128 MiB
+// is ~16M float64 words — an order of magnitude above the largest
+// single message any collective at tcp scale ships, and small enough
+// that even a worst-case bogus prefix costs one bounded allocation.
+const maxFrameBody = 1 << 27
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64), the standard choice for storage/network integrity.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrameCorrupt marks frames that failed integrity checks — a CRC
+// mismatch or an insane length prefix. The transport attributes it to
+// the sending rank; errors.Is lets callers distinguish corruption from
+// an ordinary torn connection.
+var ErrFrameCorrupt = errors.New("frame corrupt")
+
+// finishFrame completes a frame started at offset start in buf: it
+// back-fills the u32 length prefix (type byte + body) and appends the
+// CRC32-C trailer over type+body.
+func finishFrame(buf []byte, start int) []byte {
+	body := len(buf) - start - 4
+	binary.LittleEndian.PutUint32(buf[start:], uint32(body))
+	crc := crc32.Checksum(buf[start+4:], crcTable)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
 
 // Generic-payload markers inside a frameData body.
 const (
@@ -143,9 +176,7 @@ func appendDataFrame(buf []byte, msg *Message) []byte {
 			panic(fmt.Sprintf("cluster: tcp transport cannot ship generic payload %T (tag %d); use the typed Send variants", msg.Data, msg.Tag))
 		}
 	}
-	body := len(e.buf) - len(buf) - 4
-	binary.LittleEndian.PutUint32(e.buf[len(buf):], uint32(body))
-	return e.buf
+	return finishFrame(e.buf, len(buf))
 }
 
 type frameDecoder struct {
@@ -325,7 +356,9 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// readFrame reads one frame from r, returning its type byte and body.
+// readFrame reads one frame from r, returning its type byte and body
+// after verifying the length bound and the CRC32-C trailer. Integrity
+// failures wrap ErrFrameCorrupt.
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -333,11 +366,17 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n < 1 || n > maxFrameBody {
-		return 0, nil, fmt.Errorf("invalid frame length %d", n)
+		return 0, nil, fmt.Errorf("%w: invalid frame length %d (max %d)", ErrFrameCorrupt, n, maxFrameBody)
 	}
-	body := make([]byte, n-1)
+	body := make([]byte, n-1+4) // body + crc trailer
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, nil, fmt.Errorf("truncated frame body: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(body[n-1:])
+	body = body[:n-1]
+	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, body)
+	if crc != want {
+		return 0, nil, fmt.Errorf("%w: crc %08x, frame declares %08x", ErrFrameCorrupt, crc, want)
 	}
 	return hdr[4], body, nil
 }
@@ -350,9 +389,7 @@ func appendHelloFrame(buf []byte, rank int, addr string) []byte {
 	e := frameEncoder{buf: append(buf, 0, 0, 0, 0, frameHello)}
 	e.i64(int64(rank))
 	e.bytes([]byte(addr))
-	body := len(e.buf) - len(buf) - 4
-	binary.LittleEndian.PutUint32(e.buf[len(buf):], uint32(body))
-	return e.buf
+	return finishFrame(e.buf, len(buf))
 }
 
 func decodeHelloFrame(body []byte) (rank int, addr string, err error) {
@@ -368,9 +405,7 @@ func appendTableFrame(buf []byte, addrs []string) []byte {
 	for _, a := range addrs {
 		e.bytes([]byte(a))
 	}
-	body := len(e.buf) - len(buf) - 4
-	binary.LittleEndian.PutUint32(e.buf[len(buf):], uint32(body))
-	return e.buf
+	return finishFrame(e.buf, len(buf))
 }
 
 func decodeTableFrame(body []byte) ([]string, error) {

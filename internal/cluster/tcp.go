@@ -14,15 +14,18 @@ package cluster
 // answers each with the full address table. The mesh is then completed
 // deterministically: rank r dials every rank 1..r−1 from the table and
 // accepts from every rank r+1..P−1, so each pair establishes exactly
-// one connection. All rendezvous I/O runs under the configured timeout
-// and failures return errors naming the rendezvous step.
+// one connection. Dials retry under exponential backoff with
+// deterministic per-rank jitter until the rendezvous deadline, so a
+// slowly starting peer does not fail the join. All rendezvous I/O runs
+// under the configured timeout and failures return errors naming the
+// rendezvous step.
 //
 // # Steady state
 //
 // One reader goroutine per connection decodes frames into the process's
-// single mailbox; writes happen only from the local rank's goroutine
-// (the documented Comm threading contract), so neither side needs extra
-// locking. Payload buffers are decoded into fresh allocations — a
+// single mailbox. Writes come from the rank's own goroutine (data and
+// control) and from the heartbeat goroutine, serialized by a per-peer
+// write mutex. Payload buffers are decoded into fresh allocations — a
 // remote message was never in any local pool — and on the send side the
 // encoded-from buffers are left to the GC because they may fan out to
 // several destinations (payload.go). The zero-allocation steady state
@@ -38,15 +41,32 @@ package cluster
 // time, takes the max — the same order-independent value the inproc
 // CAS-max barrier produces — and releases everyone with it.
 //
-// Any connection error poisons the mailbox: every blocked and future
-// receive on this rank returns a rank-attributed error naming the dead
-// peer instead of hanging, and Cluster.Run surfaces it as an error
-// return. Receives additionally run under the transport timeout, so
-// even a silent peer (wedged, not dead) cannot stall a rank forever.
+// Failure detection is layered:
+//
+//   - every frame is CRC-checked (frame.go); a corrupt frame fails the
+//     job with the sending rank attributed;
+//   - a dead peer's EOF-without-goodbye poisons the mailbox with a
+//     rank-attributed error;
+//   - heartbeat frames (tagHeartbeat, clock-free) flow on every
+//     connection every HeartbeatInterval; a peer silent for
+//     HeartbeatMisses intervals is declared dead in O(heartbeat) even
+//     when its socket stays open (a wedged process, a dropped link) —
+//     detection no longer waits for a blocked read or the job deadline;
+//   - the first locally detected failure is broadcast as an abort frame
+//     to every peer, so survivors fail promptly with the origin's
+//     reason instead of each rediscovering the fault at its own pace.
+//
+// Any of these poisons the mailbox: every blocked and future receive on
+// this rank returns a rank-attributed error instead of hanging, and
+// Cluster.Run surfaces it as an error return. Receives additionally run
+// under the transport timeout, so even with heartbeats disabled a
+// silent peer cannot stall a rank forever.
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -63,11 +83,21 @@ const (
 	tagGather         = -3 // peer → rank 0: gather contribution, []byte payload
 	tagGatherAck      = -4 // rank 0 → peer: gather complete
 	tagBye            = -5 // peer → everyone: clean shutdown, no payload
+	tagHeartbeat      = -6 // peer → everyone: liveness probe, no payload
+	tagAbort          = -7 // peer → everyone: failure broadcast, []byte reason
 )
 
 // DefaultTCPTimeout bounds rendezvous I/O and every receive stall when
 // TCPOptions.Timeout is zero.
 const DefaultTCPTimeout = 60 * time.Second
+
+// Heartbeat defaults: a peer is declared dead after
+// DefaultHeartbeatMisses × DefaultHeartbeatInterval of silence — the
+// job's failure-detection budget.
+const (
+	DefaultHeartbeatInterval = 1 * time.Second
+	DefaultHeartbeatMisses   = 3
+)
 
 // TCPOptions configures one rank of a multi-process TCP job.
 type TCPOptions struct {
@@ -87,6 +117,23 @@ type TCPOptions struct {
 	// (default DefaultTCPTimeout). A receive that exceeds it fails with
 	// a deadline error instead of hanging the job.
 	Timeout time.Duration
+	// HeartbeatInterval is the liveness-probe period (0 = the
+	// DefaultHeartbeatInterval; negative disables heartbeats, leaving
+	// only EOF detection and the receive deadline). All ranks of a job
+	// must agree on whether heartbeats are enabled.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals declare a peer dead
+	// (0 = DefaultHeartbeatMisses).
+	HeartbeatMisses int
+	// Hook, when set, intercepts every outgoing data frame for
+	// deterministic fault injection (internal/chaos builds these from a
+	// seeded plan). Production jobs leave it nil.
+	Hook FaultHook
+	// OnKill is invoked when Hook demands FaultKill; worker processes
+	// install os.Exit so a planned kill is indistinguishable from a
+	// crashed process. When nil the transport Aborts and panics a
+	// TransportError instead (in-process loopback jobs).
+	OnKill func()
 }
 
 // NewTCP builds a cluster whose messages travel over the multi-process
@@ -102,17 +149,32 @@ func NewTCP(opts TCPOptions, params netmodel.Params, wire Wire) (*Cluster, error
 }
 
 type tcpTransport struct {
-	rank    int
-	size    int
-	timeout time.Duration
-	box     *mailbox
-	conns   []net.Conn      // indexed by peer rank; nil at self
-	writers []*bufio.Writer // same indexing; written only by the rank goroutine
-	readers sync.WaitGroup
-	closed  atomic.Bool
-	byes    []atomic.Bool // peer said goodbye: its EOF is a clean departure
-	local   [1]int
-	scratch []byte // frame encode buffer; rank-goroutine only
+	rank       int
+	size       int
+	timeout    time.Duration
+	hbInterval time.Duration
+	hbMisses   int
+	hook       FaultHook
+	onKill     func()
+
+	box      *mailbox
+	conns    []net.Conn      // indexed by peer rank; nil at self
+	writers  []*bufio.Writer // same indexing; guarded by wmu
+	wmu      []sync.Mutex    // per-peer write locks (rank goroutine vs heartbeats)
+	lastSeen []atomic.Int64  // unix nanos of the peer's last frame, any tag
+	readers  sync.WaitGroup
+	hb       sync.WaitGroup
+	done     chan struct{} // closed by shutdown; releases heartbeats and wedged ranks
+	closed   atomic.Bool
+	aborted  atomic.Bool   // abort already broadcast (first failure wins)
+	wedged   atomic.Bool   // FaultWedge: suppress outgoing heartbeats
+	byes     []atomic.Bool // peer said goodbye: its EOF is a clean departure
+	local    [1]int
+
+	// Rank-goroutine-only state (Deliver is single-threaded per rank).
+	scratch     []byte // frame encode buffer
+	frames      int    // outgoing data-frame count, for FaultHook triggers
+	corruptNext bool   // FaultCorrupt latch for the frame being encoded
 }
 
 func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
@@ -128,14 +190,27 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultTCPTimeout
 	}
+	if opts.HeartbeatInterval == 0 {
+		opts.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if opts.HeartbeatMisses <= 0 {
+		opts.HeartbeatMisses = DefaultHeartbeatMisses
+	}
 	tr := &tcpTransport{
-		rank:    opts.Rank,
-		size:    opts.Size,
-		timeout: opts.Timeout,
-		box:     newMailbox(),
-		conns:   make([]net.Conn, opts.Size),
-		writers: make([]*bufio.Writer, opts.Size),
-		byes:    make([]atomic.Bool, opts.Size),
+		rank:       opts.Rank,
+		size:       opts.Size,
+		timeout:    opts.Timeout,
+		hbInterval: opts.HeartbeatInterval,
+		hbMisses:   opts.HeartbeatMisses,
+		hook:       opts.Hook,
+		onKill:     opts.OnKill,
+		box:        newMailbox(),
+		conns:      make([]net.Conn, opts.Size),
+		writers:    make([]*bufio.Writer, opts.Size),
+		wmu:        make([]sync.Mutex, opts.Size),
+		lastSeen:   make([]atomic.Int64, opts.Size),
+		byes:       make([]atomic.Bool, opts.Size),
+		done:       make(chan struct{}),
 	}
 	tr.local[0] = opts.Rank
 	if err := tr.rendezvous(opts); err != nil {
@@ -146,6 +221,7 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 		}
 		return nil, err
 	}
+	now := time.Now().UnixNano()
 	for peer, conn := range tr.conns {
 		if conn == nil {
 			continue
@@ -154,10 +230,37 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 		// by the mailbox deadline instead, so clear the socket ones.
 		conn.SetDeadline(time.Time{})
 		tr.writers[peer] = bufio.NewWriterSize(conn, 1<<16)
+		tr.lastSeen[peer].Store(now)
 		tr.readers.Add(1)
 		go tr.readLoop(peer, conn)
 	}
+	if tr.hbInterval > 0 && tr.size > 1 {
+		tr.hb.Add(1)
+		go tr.heartbeatLoop()
+	}
 	return tr, nil
+}
+
+// dialRetry dials addr, retrying transient failures under exponential
+// backoff (50 ms doubling to 2 s) with deterministic per-rank jitter,
+// until the rendezvous deadline. Retrying is what lets a whole job's
+// processes start in any order without a thundering-herd reconnect.
+func (tr *tcpTransport) dialRetry(addr string, deadline time.Time, rng *rand.Rand) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		sleep := backoff + time.Duration(rng.Int63n(int64(backoff)))
+		if time.Until(deadline) < sleep {
+			return nil, err
+		}
+		time.Sleep(sleep)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 // rendezvous establishes tr.conns per the protocol in the file comment.
@@ -178,6 +281,9 @@ func (tr *tcpTransport) rendezvous(opts TCPOptions) error {
 	if dl, ok := ln.(*net.TCPListener); ok {
 		dl.SetDeadline(deadline)
 	}
+	// Jitter stream for dial retries: deterministic per rank, so a chaos
+	// run's reconnect schedule is reproducible.
+	rng := rand.New(rand.NewSource(int64(tr.rank) + 1))
 
 	if tr.rank == 0 {
 		// Collect one hello per joining rank; the hello connection IS the
@@ -217,9 +323,10 @@ func (tr *tcpTransport) rendezvous(opts TCPOptions) error {
 		return nil
 	}
 
-	// Joining rank: dial rank 0, announce self + own listen address, and
-	// wait for the table.
-	conn0, err := net.DialTimeout("tcp", opts.Rendezvous, opts.Timeout)
+	// Joining rank: dial rank 0 (with retry — rank 0 may still be
+	// binding), announce self + own listen address, and wait for the
+	// table.
+	conn0, err := tr.dialRetry(opts.Rendezvous, deadline, rng)
 	if err != nil {
 		return fmt.Errorf("cluster: tcp rendezvous: rank %d dialing rendezvous %q: %w", tr.rank, opts.Rendezvous, err)
 	}
@@ -239,9 +346,10 @@ func (tr *tcpTransport) rendezvous(opts TCPOptions) error {
 
 	// Complete the mesh: dial every lower joining rank, accept every
 	// higher one. Lower ranks' listeners predate their hellos, so the
-	// dials cannot race the listen.
+	// dials cannot race the listen; the retry only smooths transient
+	// refusals under load.
 	for peer := 1; peer < tr.rank; peer++ {
-		conn, err := net.DialTimeout("tcp", addrs[peer], opts.Timeout)
+		conn, err := tr.dialRetry(addrs[peer], deadline, rng)
 		if err != nil {
 			return fmt.Errorf("cluster: tcp rendezvous: rank %d dialing rank %d at %q: %w", tr.rank, peer, addrs[peer], err)
 		}
@@ -273,6 +381,35 @@ func (tr *tcpTransport) rendezvous(opts TCPOptions) error {
 	return nil
 }
 
+// fail poisons the local mailbox and — once per transport — broadcasts
+// the failure to every peer, so survivors are poisoned by the origin's
+// reason promptly instead of rediscovering the fault at their own read
+// stalls or heartbeat deadlines.
+func (tr *tcpTransport) fail(err error) {
+	tr.box.fail(err)
+	if tr.aborted.CompareAndSwap(false, true) && !tr.closed.Load() {
+		go tr.broadcastAbort(err)
+	}
+}
+
+// broadcastAbort best-effort writes an abort frame to every peer. Write
+// deadlines bound the attempt: an already-wedged peer must not hang the
+// teardown of this rank.
+func (tr *tcpTransport) broadcastAbort(err error) {
+	frame := appendDataFrame(nil, &Message{
+		Src: tr.rank, Tag: tagAbort,
+		kind: payloadAny, Data: []byte(err.Error()),
+	})
+	wd := time.Now().Add(2 * time.Second)
+	for peer, conn := range tr.conns {
+		if conn == nil || tr.byes[peer].Load() {
+			continue
+		}
+		conn.SetWriteDeadline(wd)
+		tr.write(peer, frame)
+	}
+}
+
 // readLoop decodes one connection's frames into the mailbox until the
 // connection dies or the transport closes. Every decoded message is a
 // fresh allocation — it must be, the buffers belong to this process's
@@ -283,30 +420,91 @@ func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
 	for {
 		typ, body, err := readFrame(r)
 		if err != nil {
+			if errors.Is(err, ErrFrameCorrupt) && !tr.closed.Load() {
+				// Integrity failure with the sender known: attribute it.
+				tr.fail(fmt.Errorf("corrupt frame from rank %d: %w", peer, err))
+				return
+			}
 			// EOF after the peer said goodbye (or after we closed) is a
 			// clean departure: ranks finish the job at different times, and
 			// a finished peer closing its end must not fail stragglers.
 			// EOF without a goodbye is a dead peer — poison, so every
 			// blocked receive surfaces a rank-attributed error.
 			if !tr.closed.Load() && !tr.byes[peer].Load() {
-				tr.box.fail(fmt.Errorf("connection to rank %d lost: %w", peer, err))
+				tr.fail(fmt.Errorf("connection to rank %d lost: %w", peer, err))
 			}
 			return
 		}
+		tr.lastSeen[peer].Store(time.Now().UnixNano())
 		if typ != frameData {
-			tr.box.fail(fmt.Errorf("rank %d sent unexpected frame type %d mid-job", peer, typ))
+			tr.fail(fmt.Errorf("rank %d sent unexpected frame type %d mid-job", peer, typ))
 			return
 		}
 		msg, err := decodeDataFrame(body)
 		if err != nil {
-			tr.box.fail(fmt.Errorf("undecodable frame from rank %d: %w", peer, err))
+			tr.fail(fmt.Errorf("undecodable frame from rank %d: %w", peer, err))
 			return
 		}
-		if msg.Tag == tagBye {
+		switch msg.Tag {
+		case tagBye:
 			tr.byes[peer].Store(true)
+			continue
+		case tagHeartbeat:
+			// Liveness only; lastSeen is already refreshed.
+			continue
+		case tagAbort:
+			// The origin broadcast to the whole mesh; poison locally
+			// without re-broadcasting (no echo storms on a full mesh).
+			reason, _ := msg.Data.([]byte)
+			tr.box.fail(fmt.Errorf("job aborted by rank %d: %s", peer, reason))
 			continue
 		}
 		tr.box.put(msg)
+	}
+}
+
+// heartbeatLoop is the per-process prober: every interval it sends a
+// heartbeat frame to every live peer and declares dead any peer silent
+// for hbMisses intervals — including peers whose socket is still open
+// (wedged process, dropped link), which EOF detection can never catch.
+// It runs in its own goroutine, so a rank deep in compute still
+// heartbeats; only process death or a deliberate wedge silences it.
+func (tr *tcpTransport) heartbeatLoop() {
+	defer tr.hb.Done()
+	tick := time.NewTicker(tr.hbInterval)
+	defer tick.Stop()
+	budget := time.Duration(tr.hbMisses) * tr.hbInterval
+	for {
+		select {
+		case <-tr.done:
+			return
+		case <-tick.C:
+		}
+		if !tr.wedged.Load() {
+			frame := appendDataFrame(nil, &Message{Src: tr.rank, Tag: tagHeartbeat})
+			for peer, conn := range tr.conns {
+				if conn == nil || tr.byes[peer].Load() {
+					continue
+				}
+				// Best effort: a failed write means the reader side is
+				// about to attribute the real failure.
+				tr.write(peer, frame)
+			}
+		}
+		now := time.Now()
+		for peer, conn := range tr.conns {
+			if conn == nil || tr.byes[peer].Load() {
+				continue
+			}
+			silence := now.Sub(time.Unix(0, tr.lastSeen[peer].Load()))
+			if silence > budget {
+				tr.fail(fmt.Errorf("rank %d missed %d heartbeats (silent %v, budget %v)",
+					peer, tr.hbMisses, silence.Round(time.Millisecond), budget))
+				// Sever the dead connection: unblocks any writer stuck on
+				// it and lets its reader goroutine drain.
+				conn.Close()
+			}
+		}
 	}
 }
 
@@ -325,14 +523,67 @@ func (tr *tcpTransport) write(dst int, frame []byte) error {
 	if w == nil {
 		return fmt.Errorf("no connection to rank %d", dst)
 	}
+	tr.wmu[dst].Lock()
+	defer tr.wmu[dst].Unlock()
 	if err := writeFrame(w, frame); err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
+// inject applies the fault hook's verdict for the data frame about to
+// be encoded. Called from the rank goroutine only.
+func (tr *tcpTransport) inject(src *Comm, dst int) {
+	tr.frames++
+	d := tr.hook.OnFrame(tr.rank, dst, tr.frames)
+	switch d.Action {
+	case FaultNone:
+	case FaultStall:
+		time.Sleep(d.Wall)
+	case FaultCorrupt:
+		tr.corruptNext = true
+	case FaultDrop:
+		peer := d.Peer
+		if peer < 0 || peer >= tr.size || peer == tr.rank {
+			peer = dst
+		}
+		if c := tr.conns[peer]; c != nil {
+			c.Close()
+		}
+	case FaultWedge:
+		// Go silent without dying: heartbeats stop, the rank goroutine
+		// parks until the transport is torn down, then surfaces the
+		// wedge as a transport error. Peers must have detected it long
+		// before, in O(heartbeat).
+		tr.wedged.Store(true)
+		<-tr.done
+		werr := fmt.Errorf("rank %d wedged by fault plan", tr.rank)
+		tr.box.fail(werr)
+		panic(&TransportError{Rank: src.rank, Err: werr})
+	case FaultKill:
+		if tr.onKill != nil {
+			tr.onKill() // worker process: os.Exit — peers see a bare EOF
+		}
+		// In-process rank: tear down without the goodbye handshake (the
+		// same bare EOF a killed process produces), then surface the
+		// kill locally.
+		tr.Abort()
+		panic(&TransportError{Rank: src.rank, Err: fmt.Errorf("rank %d killed by fault plan", tr.rank)})
+	}
+}
+
 func (tr *tcpTransport) Deliver(src *Comm, dst int, msg *Message) {
+	if tr.hook != nil {
+		tr.inject(src, dst)
+	}
 	tr.scratch = appendDataFrame(tr.scratch[:0], msg)
+	if tr.corruptNext {
+		tr.corruptNext = false
+		// Flip a payload bit after the CRC was computed: the frame goes
+		// out with a stale checksum, exactly what on-wire corruption
+		// produces, and the receiver must reject it with attribution.
+		tr.scratch[5] ^= 0x80
+	}
 	err := tr.write(dst, tr.scratch)
 	// Recycle only the Message shell. Its payload buffers may fan out to
 	// several destinations, so they are left to the GC (payload.go): on
@@ -340,7 +591,7 @@ func (tr *tcpTransport) Deliver(src *Comm, dst int, msg *Message) {
 	src.release(msg)
 	if err != nil {
 		werr := fmt.Errorf("send to rank %d failed: %w", dst, err)
-		tr.box.fail(werr)
+		tr.fail(werr)
 		panic(&TransportError{Rank: src.rank, Err: werr})
 	}
 }
@@ -443,8 +694,8 @@ func (tr *tcpTransport) Gather(rank int, blob []byte) ([][]byte, error) {
 
 // Close tears the mesh down cleanly: says goodbye on every connection
 // (so peers still draining their side treat the EOF as a departure, not
-// a death), then closes the connections and waits for the reader
-// goroutines to drain, so a closed transport leaks nothing.
+// a death), then closes the connections and waits for the reader and
+// heartbeat goroutines to drain, so a closed transport leaks nothing.
 func (tr *tcpTransport) Close() error { return tr.shutdown(true) }
 
 // Abort tears the mesh down without the goodbye handshake. Peers see a
@@ -456,14 +707,17 @@ func (tr *tcpTransport) shutdown(sayGoodbye bool) error {
 	if !tr.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(tr.done)
+	tr.hb.Wait()
 	if sayGoodbye {
 		bye := appendDataFrame(nil, &Message{Src: tr.rank, Tag: tagBye})
-		for _, w := range tr.writers {
-			if w != nil {
-				// Best effort: an already-dead peer can't hear the goodbye.
-				if err := writeFrame(w, bye); err == nil {
-					w.Flush()
-				}
+		wd := time.Now().Add(2 * time.Second)
+		for peer, conn := range tr.conns {
+			if conn != nil {
+				// Best effort: an already-dead peer can't hear the goodbye,
+				// and a wedged one must not hang our shutdown.
+				conn.SetWriteDeadline(wd)
+				tr.write(peer, bye)
 			}
 		}
 	}

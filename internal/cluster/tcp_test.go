@@ -19,6 +19,13 @@ import (
 // clusters are closed on test cleanup.
 func startTCPJob(t *testing.T, p int, params netmodel.Params, wire Wire, timeout time.Duration) []*Cluster {
 	t.Helper()
+	return startTCPJobOpts(t, p, params, wire, timeout, nil)
+}
+
+// startTCPJobOpts is startTCPJob with a per-rank options hook (fault
+// injection, heartbeat tuning) applied before each rank joins.
+func startTCPJobOpts(t *testing.T, p int, params netmodel.Params, wire Wire, timeout time.Duration, custom func(r int, o *TCPOptions)) []*Cluster {
+	t.Helper()
 	clusters := make([]*Cluster, p)
 	errs := make([]error, p)
 	addrCh := make(chan string, 1)
@@ -26,10 +33,14 @@ func startTCPJob(t *testing.T, p int, params netmodel.Params, wire Wire, timeout
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		clusters[0], errs[0] = NewTCP(TCPOptions{
+		opts := TCPOptions{
 			Rank: 0, Size: p, Timeout: timeout,
 			OnListen: func(a string) { addrCh <- a },
-		}, params, wire)
+		}
+		if custom != nil {
+			custom(0, &opts)
+		}
+		clusters[0], errs[0] = NewTCP(opts, params, wire)
 		if errs[0] != nil {
 			close(addrCh) // wake the waiter if listen itself failed
 		}
@@ -43,9 +54,13 @@ func startTCPJob(t *testing.T, p int, params netmodel.Params, wire Wire, timeout
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			clusters[r], errs[r] = NewTCP(TCPOptions{
+			opts := TCPOptions{
 				Rank: r, Size: p, Rendezvous: addr, Timeout: timeout,
-			}, params, wire)
+			}
+			if custom != nil {
+				custom(r, &opts)
+			}
+			clusters[r], errs[r] = NewTCP(opts, params, wire)
 		}(r)
 	}
 	wg.Wait()

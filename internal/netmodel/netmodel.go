@@ -334,6 +334,62 @@ func (c *Clock) Reset() {
 	*c = Clock{params: p}
 }
 
+// ClockState is the complete restorable state of a Clock — everything
+// except the machine parameters and the (transient) overlap window.
+// Checkpoints store it per rank so a resumed run replays every
+// subsequent stamp on bit-identical absolute times: floating-point
+// addition is not translation-invariant, so restoring the absolute
+// state (rather than re-deriving it from an elapsed total) is the only
+// way a recovered job's modeled clock stays bit-exact.
+type ClockState struct {
+	Time      float64
+	SendFree  float64
+	RecvFree  float64
+	Phase     int
+	PhaseTime [3]float64
+	SentWords int64
+	RecvWords int64
+	SentMsgs  int64
+	RecvMsgs  int64
+}
+
+// State captures the clock for a checkpoint. It must be called between
+// iterations: capturing inside an open overlap window would lose the
+// window's split tracks, so that is a programming error.
+func (c *Clock) State() ClockState {
+	if c.inOverlap {
+		panic("netmodel: State inside an open overlap window")
+	}
+	return ClockState{
+		Time:      c.cpu,
+		SendFree:  c.sendFree,
+		RecvFree:  c.recvFree,
+		Phase:     int(c.phase),
+		PhaseTime: [3]float64{c.phaseTime[0], c.phaseTime[1], c.phaseTime[2]},
+		SentWords: c.sentWords,
+		RecvWords: c.recvWords,
+		SentMsgs:  c.sentMsgs,
+		RecvMsgs:  c.recvMsgs,
+	}
+}
+
+// SetState restores a checkpointed clock state, keeping the machine
+// parameters. The mirror constraint of State applies.
+func (c *Clock) SetState(s ClockState) {
+	if c.inOverlap {
+		panic("netmodel: SetState inside an open overlap window")
+	}
+	c.cpu = s.Time
+	c.sendFree = s.SendFree
+	c.recvFree = s.RecvFree
+	c.phase = Phase(s.Phase)
+	c.phaseTime = [numPhases]float64{s.PhaseTime[0], s.PhaseTime[1], s.PhaseTime[2]}
+	c.sentWords = s.SentWords
+	c.recvWords = s.RecvWords
+	c.sentMsgs = s.SentMsgs
+	c.recvMsgs = s.RecvMsgs
+}
+
 // Aggregate combines per-rank snapshots into cluster-level metrics: the
 // makespan (max time), the mean per-phase times (what the stacked-bar
 // figures plot), and total traffic.

@@ -2,9 +2,11 @@ package train
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/netmodel"
 )
 
 // TestCheckpointResumeMatchesContinuous: stopping at a τ′ boundary,
@@ -46,6 +48,66 @@ func TestCheckpointResumeMatchesContinuous(t *testing.T) {
 		if pa[i] != pb[i] {
 			t.Fatalf("resumed trajectory diverged at param %d: %v vs %v", i, pb[i], pa[i])
 		}
+	}
+}
+
+// TestCheckpointResumeModeledTime: the checkpoint carries each rank's
+// absolute modeled-clock state, so a resumed run reproduces not just
+// the parameters but the per-iteration modeled times and the cumulative
+// modeled clock bit-for-bit. (Clock restoration is what makes job-level
+// recovery indistinguishable from an unfailed run — modeled time is an
+// output of this simulator, not a side channel.)
+func TestCheckpointResumeModeledTime(t *testing.T) {
+	cfg := quickCfg("VGG", "OkTopk", 2)
+	cfg.Reduce.TauPrime = 4
+	cfg.Reduce.Tau = 4
+
+	// Continuous reference: 8 iterations, per-iteration modeled times.
+	ref := NewSession(cfg)
+	var refIters []float64
+	refElapsed := 0.0
+	for i := 0; i < 8; i++ {
+		st := ref.RunIteration()
+		refIters = append(refIters, st.IterSeconds)
+		refElapsed += st.IterSeconds
+	}
+
+	// Checkpointed run: 4 iterations, gather (inproc fast path), restore
+	// into a fresh session, continue.
+	first := NewSession(cfg)
+	elapsed := 0.0
+	for i := 0; i < 4; i++ {
+		elapsed += first.RunIteration().IterSeconds
+	}
+	ck, err := first.GatherCheckpoint(elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ck.SimSeconds) != math.Float64bits(elapsed) {
+		t.Fatalf("checkpoint SimSeconds %v, want %v", ck.SimSeconds, elapsed)
+	}
+	for r, rs := range ck.Ranks {
+		if rs.Clock == (netmodel.ClockState{}) {
+			t.Fatalf("rank %d clock state not captured", r)
+		}
+	}
+
+	resumed := NewSession(cfg)
+	resumed.SkipTo(4)
+	if err := resumed.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	total := ck.SimSeconds
+	for i := 4; i < 8; i++ {
+		st := resumed.RunIteration()
+		if math.Float64bits(st.IterSeconds) != math.Float64bits(refIters[i]) {
+			t.Errorf("iter %d modeled time: resumed %v, continuous %v", i+1, st.IterSeconds, refIters[i])
+		}
+		total += st.IterSeconds
+	}
+	if math.Float64bits(total) != math.Float64bits(refElapsed) {
+		t.Errorf("cumulative modeled time: resumed %v (%016x), continuous %v (%016x)",
+			total, math.Float64bits(total), refElapsed, math.Float64bits(refElapsed))
 	}
 }
 

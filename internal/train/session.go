@@ -8,6 +8,8 @@
 package train
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -343,8 +345,29 @@ func (s *Session) Evaluate(samples int) float64 {
 // MetricName reports the workload's evaluation metric.
 func (s *Session) MetricName() string { return s.Trainers[0].W.MetricName() }
 
+// rankState serializes one locally hosted rank's training state,
+// including its absolute modeled-clock state (bit-exact resume needs
+// the absolute clock, not an elapsed total — see netmodel.ClockState).
+func (s *Session) rankState(r int) checkpoint.RankState {
+	tr := s.Trainers[r]
+	rs := checkpoint.RankState{
+		Params:   append([]float64(nil), tr.W.Params()...),
+		Residual: append([]float64(nil), tr.residual...),
+		Clock:    s.Cluster.Comm(r).Clock().State(),
+	}
+	if adam, ok := tr.Opt.(*optimizer.Adam); ok {
+		m, v, t := adam.State()
+		rs.AdamM = append([]float64(nil), m...)
+		rs.AdamV = append([]float64(nil), v...)
+		rs.AdamT = t
+	}
+	return rs
+}
+
 // Checkpoint snapshots the session's full training state (parameters,
-// residuals, Adam moments, iteration counter) for later Restore.
+// residuals, Adam moments, per-rank clocks, iteration counter) for
+// later Restore. All ranks must be in-process; multi-process sessions
+// use GatherCheckpoint.
 func (s *Session) Checkpoint() *checkpoint.Checkpoint {
 	if !s.Cluster.AllLocal() {
 		panic("train: checkpointing needs every rank in-process")
@@ -354,20 +377,56 @@ func (s *Session) Checkpoint() *checkpoint.Checkpoint {
 		Algorithm: s.Cfg.Algorithm,
 		Iteration: s.iter,
 	}
-	for _, tr := range s.Trainers {
-		rs := checkpoint.RankState{
-			Params:   append([]float64(nil), tr.W.Params()...),
-			Residual: append([]float64(nil), tr.residual...),
-		}
-		if adam, ok := tr.Opt.(*optimizer.Adam); ok {
-			m, v, t := adam.State()
-			rs.AdamM = append([]float64(nil), m...)
-			rs.AdamV = append([]float64(nil), v...)
-			rs.AdamT = t
-		}
-		c.Ranks = append(c.Ranks, rs)
+	for r := range s.Trainers {
+		c.Ranks = append(c.Ranks, s.rankState(r))
 	}
 	return c
+}
+
+// GatherCheckpoint assembles a full-job checkpoint on a session of any
+// transport. In-process sessions take the direct snapshot; on a
+// multi-process (tcp) session every rank gob-encodes its local state
+// and ships it over the uncosted control plane, so only the process
+// hosting rank 0 returns a non-nil checkpoint — the others return
+// (nil, nil) and rely on rank 0 to persist it. simSeconds is the
+// job-level modeled total to stamp into the checkpoint (gob, not JSON,
+// because training state can legitimately hold NaN/Inf and must round-
+// trip bit-exactly).
+func (s *Session) GatherCheckpoint(simSeconds float64) (*checkpoint.Checkpoint, error) {
+	if s.Cluster.AllLocal() {
+		c := s.Checkpoint()
+		c.SimSeconds = simSeconds
+		return c, nil
+	}
+	var out *checkpoint.Checkpoint
+	err := s.Cluster.Run(func(cm *cluster.Comm) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(s.rankState(cm.Rank())); err != nil {
+			return fmt.Errorf("train: checkpoint rank %d: %w", cm.Rank(), err)
+		}
+		blobs := cm.Gather(buf.Bytes())
+		if cm.Rank() != 0 {
+			return nil
+		}
+		c := &checkpoint.Checkpoint{
+			Workload:   s.Cfg.Workload,
+			Algorithm:  s.Cfg.Algorithm,
+			Iteration:  s.iter,
+			SimSeconds: simSeconds,
+			Ranks:      make([]checkpoint.RankState, s.Cfg.P),
+		}
+		for r, b := range blobs {
+			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c.Ranks[r]); err != nil {
+				return fmt.Errorf("train: checkpoint rank %d decode: %w", r, err)
+			}
+		}
+		out = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Restore installs a checkpoint taken from a session with the same
@@ -376,7 +435,11 @@ func (s *Session) Checkpoint() *checkpoint.Checkpoint {
 // trajectory bit-for-bit (the data RNGs are re-derived from the
 // iteration counter being advanced identically, so Restore must be
 // applied to a session that has run the same number of iterations —
-// typically a fresh session fast-forwarded via SkipTo).
+// typically a fresh session fast-forwarded via SkipTo). Only locally
+// hosted ranks are restored — on a multi-process session each worker
+// restores its own rank from the shared checkpoint file — and each
+// restored rank's modeled clock is set to its checkpointed absolute
+// state, which is what keeps resumed modeled time bit-identical.
 func (s *Session) Restore(c *checkpoint.Checkpoint) error {
 	if err := c.Validate(); err != nil {
 		return err
@@ -391,13 +454,15 @@ func (s *Session) Restore(c *checkpoint.Checkpoint) error {
 	if len(c.Ranks[0].Params) != s.N() {
 		return fmt.Errorf("train: checkpoint n=%d, session n=%d", len(c.Ranks[0].Params), s.N())
 	}
-	for i, tr := range s.Trainers {
-		rs := c.Ranks[i]
+	for _, r := range s.Cluster.LocalRanks() {
+		tr := s.Trainers[r]
+		rs := c.Ranks[r]
 		copy(tr.W.Params(), rs.Params)
 		copy(tr.residual, rs.Residual)
 		if adam, ok := tr.Opt.(*optimizer.Adam); ok && rs.AdamM != nil {
 			adam.SetState(rs.AdamM, rs.AdamV, rs.AdamT)
 		}
+		s.Cluster.Comm(r).Clock().SetState(rs.Clock)
 	}
 	s.iter = c.Iteration
 	return nil
@@ -412,11 +477,13 @@ func (s *Session) Restore(c *checkpoint.Checkpoint) error {
 // draws; gradients touched by the replay are discarded by the next
 // step's ZeroGrads.
 func (s *Session) SkipTo(iteration int) {
-	for r := range s.rngs {
+	local := s.Cluster.LocalRanks()
+	for _, r := range local {
 		s.rngs[r] = tensor.RNG(s.Cfg.Seed + 1000 + int64(r))
 	}
 	for it := 0; it < iteration; it++ {
-		for r, tr := range s.Trainers {
+		for _, r := range local {
+			tr := s.Trainers[r]
 			_, _, _ = tr.W.ComputeBatch(s.rngs[r], tr.Batch)
 		}
 	}

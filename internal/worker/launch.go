@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/conformance"
@@ -22,9 +23,19 @@ type Outcome struct {
 	Train *TrainReport
 	// Wall is the host wall-clock for the whole job, rendezvous
 	// included — the quantity modeled SimSeconds is finally comparable
-	// against.
+	// against. Under LaunchWithRecovery it covers the successful attempt
+	// only.
 	Wall time.Duration
+	// Attempts is how many launches the job took (1 = no restart).
+	Attempts int
 }
+
+// failGrace is how long the launcher lets surviving ranks wind down
+// after the first rank fails before killing the stragglers. Survivors
+// normally self-terminate well inside this via the abort broadcast or
+// the heartbeat budget; the grace kill only catches wedged processes
+// that by design never exit on their own.
+const failGrace = 15 * time.Second
 
 // LaunchOptions tunes Launch.
 type LaunchOptions struct {
@@ -195,26 +206,55 @@ func Launch(job Job, opts LaunchOptions) (*Outcome, error) {
 		procs[r] = cmd
 	}
 
-	// Reap every rank under the deadline; a stuck worker is killed, and
-	// the failure report names each bad rank with its stderr tail.
+	// Reap every rank concurrently under the deadline. The first failed
+	// rank arms a grace timer: survivors get failGrace to wind down on
+	// their own (abort broadcast, heartbeat budget), then stragglers —
+	// wedged processes never exit unaided — are killed. A job that blows
+	// the overall deadline is killed outright.
 	waitErrs := make([]error, job.Size)
 	done := make(chan struct{})
-	go func() {
-		// Rank 0's Wait would close the stdout pipe out from under the
-		// scanner; drain to EOF first.
-		<-scanDone
-		for r, p := range procs {
+	firstFail := make(chan struct{})
+	var failOnce sync.Once
+	var reapers sync.WaitGroup
+	for r, p := range procs {
+		reapers.Add(1)
+		go func(r int, p *exec.Cmd) {
+			defer reapers.Done()
+			if r == 0 {
+				// Rank 0's Wait would close the stdout pipe out from under
+				// the scanner; drain to EOF first.
+				<-scanDone
+			}
 			waitErrs[r] = p.Wait()
-		}
+			if waitErrs[r] != nil {
+				failOnce.Do(func() { close(firstFail) })
+			}
+		}(r, p)
+	}
+	go func() {
+		reapers.Wait()
 		close(done)
 	}()
 	timedOut := false
-	select {
-	case <-done:
-	case <-time.After(time.Until(deadline)):
-		timedOut = true
-		killAll()
-		<-done
+	var grace <-chan time.Time
+	failArm := firstFail
+reap:
+	for {
+		select {
+		case <-done:
+			break reap
+		case <-failArm:
+			failArm = nil // arm the grace kill exactly once
+			grace = time.After(failGrace)
+		case <-grace:
+			grace = nil
+			killAll()
+		case <-time.After(time.Until(deadline)):
+			timedOut = true
+			killAll()
+			<-done
+			break reap
+		}
 	}
 	wall := time.Since(start)
 	res := <-resCh
@@ -239,5 +279,60 @@ func Launch(job Job, opts LaunchOptions) (*Outcome, error) {
 	if res.err != nil {
 		return nil, fmt.Errorf("worker: rank 0 output: %w", res.err)
 	}
-	return &Outcome{Report: res.report, Train: res.train, Wall: wall}, nil
+	return &Outcome{Report: res.report, Train: res.train, Wall: wall, Attempts: 1}, nil
+}
+
+// RestartPolicy governs job-level recovery in LaunchWithRecovery.
+type RestartPolicy struct {
+	// MaxAttempts is the total number of launches allowed (<= 1 means a
+	// single attempt, i.e. no restarts).
+	MaxAttempts int
+	// Backoff is the sleep before the first relaunch, doubling per
+	// attempt (default 250ms).
+	Backoff time.Duration
+}
+
+// LaunchWithRecovery launches the job and, on failure, relaunches it up
+// to policy.MaxAttempts times. Train jobs with a Checkpoint path resume
+// each relaunch from the last written checkpoint — together with the
+// per-rank clock state stored there, the recovered run's loss, metric,
+// and modeled time are bit-identical to an unfailed run's. Each attempt
+// carries its 1-based number in Job.Attempt, which fault plans use to
+// fire on the first attempt only.
+func LaunchWithRecovery(job Job, opts LaunchOptions, policy RestartPolicy) (*Outcome, error) {
+	maxAttempts := policy.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 1
+	}
+	backoff := policy.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		j := job
+		j.Attempt = attempt
+		if attempt > 1 && j.Train != nil && j.Train.Checkpoint != "" {
+			t := *j.Train
+			if _, err := os.Stat(t.Checkpoint); err == nil {
+				t.Resume = t.Checkpoint
+			}
+			j.Train = &t
+		}
+		out, err := Launch(j, opts)
+		if err == nil {
+			out.Attempts = attempt
+			return out, nil
+		}
+		lastErr = err
+		if attempt < maxAttempts {
+			if opts.Forward != nil {
+				fmt.Fprintf(opts.Forward, "worker: attempt %d failed, relaunching in %v: %v\n",
+					attempt, backoff, err)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return nil, fmt.Errorf("worker: job failed after %d attempt(s): %w", maxAttempts, lastErr)
 }

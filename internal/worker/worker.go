@@ -28,6 +28,8 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/conformance"
 	"repro/internal/netmodel"
@@ -62,8 +64,22 @@ type Job struct {
 	// TimeoutSec bounds rendezvous and every receive stall (default
 	// cluster.DefaultTCPTimeout).
 	TimeoutSec float64
+	// HeartbeatMS is the liveness-probe interval in milliseconds (0 =
+	// cluster.DefaultHeartbeatInterval; negative disables heartbeats).
+	HeartbeatMS int `json:",omitempty"`
+	// HeartbeatMisses is the silent-interval count that declares a peer
+	// dead (0 = cluster.DefaultHeartbeatMisses).
+	HeartbeatMisses int `json:",omitempty"`
 	// Wire is the collective wire format.
 	Wire cluster.Wire
+
+	// Chaos is the job's deterministic fault plan; nil for production
+	// runs. Each worker derives its own transport hook and kill step.
+	Chaos *chaos.Plan `json:",omitempty"`
+	// Attempt is the 1-based launch attempt under a restart policy
+	// (0 means 1). Fault plans default to firing on attempt 1 only, so
+	// relaunched attempts run clean and the job recovers.
+	Attempt int `json:",omitempty"`
 
 	// Params are the α-β machine constants for conformance jobs (train
 	// jobs derive theirs from the workload, like any session).
@@ -86,6 +102,17 @@ type TrainJob struct {
 	// EvalEvery prints a progress line every N iterations (0 = final
 	// iteration only).
 	EvalEvery int
+	// Checkpoint, when set, makes the job checkpoint its full state to
+	// this path: every CkptEvery iterations (all ranks gather, rank 0
+	// writes atomically) and after the final iteration. This is what
+	// job-level recovery restarts from.
+	Checkpoint string `json:",omitempty"`
+	// CkptEvery is the checkpoint cadence in iterations (0 = final only).
+	CkptEvery int `json:",omitempty"`
+	// Resume, when set, restores every rank from this checkpoint file
+	// before training; the continuation is bit-identical to a run that
+	// never stopped (loss, metric, and modeled clock).
+	Resume string `json:",omitempty"`
 }
 
 // TrainReport is rank 0's summary of a distributed training run,
@@ -138,18 +165,33 @@ func (job Job) timeout() time.Duration {
 	return time.Duration(job.TimeoutSec * float64(time.Second))
 }
 
+// attempt returns the 1-based launch attempt.
+func (job Job) attempt() int {
+	if job.Attempt <= 0 {
+		return 1
+	}
+	return job.Attempt
+}
+
 // announce prints the rendezvous control line (rank 0 only; the
 // launcher scans for it).
 func announce(addr string) {
 	fmt.Printf("%s%s\n", rendezvousPrefix, addr)
 }
 
-// tcpOptions builds this worker's transport options.
+// tcpOptions builds this worker's transport options, including the
+// fault hook its share of the chaos plan (if any) compiles down to. A
+// planned transport-level kill is os.Exit in a worker process — the
+// peers observe exactly what a crashed rank produces.
 func (job Job) tcpOptions() cluster.TCPOptions {
 	opts := cluster.TCPOptions{
 		Rank: job.Rank, Size: job.Size,
-		Rendezvous: job.Rendezvous,
-		Timeout:    job.timeout(),
+		Rendezvous:        job.Rendezvous,
+		Timeout:           job.timeout(),
+		HeartbeatInterval: time.Duration(job.HeartbeatMS) * time.Millisecond,
+		HeartbeatMisses:   job.HeartbeatMisses,
+		Hook:              job.Chaos.Hook(job.Rank, job.attempt()),
+		OnKill:            func() { os.Exit(3) },
 	}
 	if job.Rank == 0 {
 		opts.OnListen = announce
@@ -214,7 +256,10 @@ func runTrain(job Job) int {
 }
 
 // trainBody runs the iterations, converting the session's transport
-// panics (how a dead peer surfaces mid-collective) into an error.
+// panics (how a dead peer surfaces mid-collective) into an error. It
+// also implements the recovery half of the fault-tolerance story:
+// resume from a checkpoint file, periodic all-rank checkpoint gathers
+// (rank 0 persists), and the plan's step-scoped kills.
 func trainBody(s *train.Session, job Job) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -228,13 +273,55 @@ func trainBody(s *train.Session, job Job) (err error) {
 	root := job.Rank == 0
 	var elapsed float64
 	var last train.IterStats
-	for it := 1; it <= job.Train.Iters; it++ {
+	startIter := 1
+	if job.Train.Resume != "" {
+		ck, err := checkpoint.LoadFile(job.Train.Resume)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		// SkipTo first: the data RNG streams must be at the checkpoint
+		// iteration before Restore pins the model/clock state.
+		s.SkipTo(ck.Iteration)
+		if err := s.Restore(ck); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		startIter = ck.Iteration + 1
+		elapsed = ck.SimSeconds
+		if root {
+			fmt.Printf("resumed from %s at iter %d (modeled-time %8.2fs)\n",
+				job.Train.Resume, ck.Iteration, elapsed)
+		}
+	}
+	killStep := job.Chaos.KillStep(job.Rank, job.attempt())
+	for it := startIter; it <= job.Train.Iters; it++ {
+		if it == killStep {
+			// Planned step-scoped death: indistinguishable from a crash.
+			os.Exit(3)
+		}
 		st := s.RunIteration()
+		if root {
+			elapsed += st.IterSeconds
+			last = st
+		}
+		if job.Train.Checkpoint != "" {
+			ev := job.Train.CkptEvery
+			if (ev > 0 && it%ev == 0) || it == job.Train.Iters {
+				// Collective: every rank gathers (only rank 0's elapsed and
+				// assembled checkpoint matter; the others get nil).
+				ck, err := s.GatherCheckpoint(elapsed)
+				if err != nil {
+					return fmt.Errorf("checkpoint at iter %d: %w", it, err)
+				}
+				if ck != nil {
+					if err := ck.SaveFile(job.Train.Checkpoint); err != nil {
+						return fmt.Errorf("checkpoint at iter %d: %w", it, err)
+					}
+				}
+			}
+		}
 		if !root {
 			continue
 		}
-		elapsed += st.IterSeconds
-		last = st
 		if ev := job.Train.EvalEvery; ev > 0 && it%ev == 0 && it != job.Train.Iters {
 			fmt.Printf("iter %5d  modeled-time %8.2fs  loss %7.4f\n", it, elapsed, st.Loss)
 		}
