@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/tensor"
 	"repro/internal/train"
 	"repro/internal/worker"
@@ -77,28 +78,30 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	profiling.Start()
+	defer profiling.Stop()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	tensor.SetWorkers(*workers)
 	w, err := cluster.ParseWire(*wire)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	experiments.SetWire(w)
 	om, err := train.ParseOverlapMode(*overlap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	experiments.SetOverlapMode(om)
 	experiments.SetTraceDir(*traceDir)
 	tk, err := cluster.ParseTransport(*transport)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	experiments.SetTransport(tk)
 	if tk == cluster.TransportTCP {
@@ -134,14 +137,14 @@ func main() {
 		}
 		return
 	case "all":
-		os.Exit(run(experiments.Registry()))
+		profiling.Exit(run(experiments.Registry()))
 	}
 	r, ok := experiments.FindRunner(id)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (try `oktopk-bench list`)\n", id)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
-	os.Exit(run([]experiments.Runner{r}))
+	profiling.Exit(run([]experiments.Runner{r}))
 }
 
 // run expands the runners into one flat spec list — so configurations

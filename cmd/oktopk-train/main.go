@@ -47,6 +47,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/netmodel"
+	"repro/internal/profiling"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/train"
@@ -85,16 +86,18 @@ func main() {
 		restartBackoff = flag.Duration("restart-backoff", 0, "sleep before the first tcp relaunch, doubling per attempt (0 = default 250ms)")
 	)
 	flag.Parse()
+	profiling.Start()
+	defer profiling.Stop()
 	tensor.SetWorkers(*workers)
 	wm, err := cluster.ParseWire(*wire)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	om, err := train.ParseOverlapMode(*overlap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 
 	cfg := train.Config{
@@ -127,14 +130,14 @@ func main() {
 	tk, err := cluster.ParseTransport(*transport)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	if tk == cluster.TransportTCP {
 		if *traceFile != "" {
 			fmt.Fprintln(os.Stderr, "oktopk-train: -trace needs the inproc transport")
-			os.Exit(2)
+			profiling.Exit(2)
 		}
-		os.Exit(runTCP(cfg, tcpRun{
+		profiling.Exit(runTCP(cfg, tcpRun{
 			iters: *iters, evalEvery: *evalEvery,
 			ckpt: *ckptFile, ckptEvery: *ckptEvery, resume: *resume,
 			timeout: *netTimeout, hbInterval: *hbInterval, hbMiss: *hbMiss,
@@ -148,12 +151,12 @@ func main() {
 		ck, err := checkpoint.LoadFile(*resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		s.SkipTo(ck.Iteration)
 		if err := s.Restore(ck); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		startIter = ck.Iteration + 1
 		elapsed = ck.SimSeconds
@@ -170,7 +173,7 @@ func main() {
 		c.SimSeconds = elapsed
 		if err := c.SaveFile(*ckptFile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 	}
 	var rec *trace.Recorder
@@ -201,7 +204,7 @@ func main() {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		fmt.Fprintf(f, "message trace: %s/%s P=%d iteration %d (%d events)\n\n",
 			*workload, *algo, *p, *iters, rec.Len())
@@ -210,12 +213,12 @@ func main() {
 		rec.WriteTimeline(f, 4000)
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 	}
 	if d := s.ReplicaDivergence(); d != 0 {
 		fmt.Fprintf(os.Stderr, "WARNING: replicas diverged by %v\n", d)
-		os.Exit(1)
+		profiling.Exit(1)
 	}
 }
 

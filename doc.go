@@ -40,6 +40,7 @@
 //	internal/chaos       deterministic fault-injection plans + chaos
 //	                     conformance suite
 //	internal/conformance cross-backend (inproc vs tcp) conformance suite
+//	internal/profiling   shared -cpuprofile/-memprofile flags for the cmds
 //	cmd/oktopk-bench     regenerate any experiment by id (-parallel, -out)
 //	cmd/oktopk-train     run one training configuration
 //	cmd/oktopk-worker    hosts one rank of a -transport tcp job

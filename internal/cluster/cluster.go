@@ -142,6 +142,18 @@ type mailbox struct {
 	queues  map[RecvKey]*mbQueue
 	waiting bool
 	err     error
+
+	// Reusable deadline timer for blocked takes. A mailbox has exactly
+	// one receiving goroutine, so one timer suffices; re-arming it
+	// (Reset) instead of allocating a time.AfterFunc per blocked take
+	// keeps the tcp receive path allocation-free. armSeq counts arms and
+	// firedSeq records the arm current at the last callback run — a
+	// waiter treats a fire as its own only after confirming the wall
+	// clock actually passed its deadline, which makes stale callbacks
+	// from a previous take (possible around Reset) harmless.
+	timer    *time.Timer
+	armSeq   uint64
+	firedSeq uint64
 }
 
 func newMailbox() *mailbox {
@@ -182,17 +194,43 @@ func (m *mailbox) fail(err error) {
 	m.cond.Broadcast()
 }
 
-// deadlineTimer arms a one-shot wakeup for a blocked take: when the
-// deadline passes, it flips *expired under the mailbox lock and
-// broadcasts, so the cond-wait loop re-checks and bails out. sync.Cond
-// has no timed wait; this is the standard workaround.
-func (m *mailbox) deadlineTimer(deadline time.Time, expired *bool) *time.Timer {
-	return time.AfterFunc(time.Until(deadline), func() {
-		m.mu.Lock()
-		*expired = true
-		m.mu.Unlock()
-		m.cond.Broadcast()
-	})
+// armDeadline (re)arms the shared deadline timer for a blocked take and
+// returns the arm's sequence number. Caller holds mu. sync.Cond has no
+// timed wait; a timer that broadcasts is the standard workaround — here
+// with one reusable timer per mailbox instead of an allocation per
+// blocked take.
+func (m *mailbox) armDeadline(deadline time.Time) uint64 {
+	m.armSeq++
+	d := time.Until(deadline)
+	if m.timer == nil {
+		m.timer = time.AfterFunc(d, m.deadlineFired)
+	} else {
+		m.timer.Reset(d)
+	}
+	return m.armSeq
+}
+
+// deadlineFired is the timer callback: record which arm was current and
+// wake the waiter, which re-checks its own deadline against the wall
+// clock (a stale fire from an earlier take re-arms instead of erroring).
+func (m *mailbox) deadlineFired() {
+	m.mu.Lock()
+	m.firedSeq = m.armSeq
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// expiredNow reports whether a waiter that armed seq should give up: its
+// timer (or a stale predecessor) fired and the deadline truly passed.
+// Caller holds mu; on a stale fire the caller re-arms.
+func (m *mailbox) expiredNow(seq uint64, deadline time.Time) (expired, stale bool) {
+	if seq == 0 || m.firedSeq < seq {
+		return false, false
+	}
+	if time.Now().Before(deadline) {
+		return false, true
+	}
+	return true, false
 }
 
 // take removes and returns the first queued message matching (src, tag),
@@ -225,23 +263,25 @@ func (m *mailbox) takeDeadline(src, tag int, deadline time.Time) (*Message, erro
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	q := m.queue(RecvKey{src, tag})
-	var timer *time.Timer
-	expired := false
+	var seq uint64
 	for q.empty() {
 		if m.err != nil {
 			return nil, m.err
 		}
+		expired, stale := m.expiredNow(seq, deadline)
 		if expired {
 			return nil, fmt.Errorf("recv deadline exceeded waiting for (src=%d, tag=%d)", src, tag)
 		}
-		if timer == nil {
-			timer = m.deadlineTimer(deadline, &expired)
-			defer timer.Stop()
+		if seq == 0 || stale {
+			seq = m.armDeadline(deadline)
 		}
 		m.waiting = true
 		m.cond.Wait()
 	}
 	m.waiting = false
+	if seq != 0 {
+		m.timer.Stop()
+	}
 	return q.pop(), nil
 }
 
@@ -298,8 +338,7 @@ func (m *mailbox) takeEach(keys []RecvKey, deliver func(i int, msg *Message), de
 // takeEachDeadline is takeEach with a bound on each stall.
 func (m *mailbox) takeEachDeadline(keys []RecvKey, deliver func(i int, msg *Message), deadline time.Time) error {
 	var batch [16]*Message
-	var timer *time.Timer
-	expired := false
+	var seq uint64
 	i := 0
 	m.mu.Lock()
 	for i < len(keys) {
@@ -316,17 +355,16 @@ func (m *mailbox) takeEachDeadline(keys []RecvKey, deliver func(i int, msg *Mess
 			if m.err != nil {
 				err := m.err
 				m.mu.Unlock()
-				if timer != nil {
-					timer.Stop()
-				}
+				m.stopDeadline(seq)
 				return err
 			}
+			expired, stale := m.expiredNow(seq, deadline)
 			if expired {
 				m.mu.Unlock()
 				return fmt.Errorf("recv deadline exceeded waiting for (src=%d, tag=%d)", keys[i].Src, keys[i].Tag)
 			}
-			if timer == nil {
-				timer = m.deadlineTimer(deadline, &expired)
+			if seq == 0 || stale {
+				seq = m.armDeadline(deadline)
 			}
 			m.waiting = true
 			m.cond.Wait()
@@ -343,10 +381,18 @@ func (m *mailbox) takeEachDeadline(keys []RecvKey, deliver func(i int, msg *Mess
 	}
 	m.waiting = false
 	m.mu.Unlock()
-	if timer != nil {
-		timer.Stop()
-	}
+	m.stopDeadline(seq)
 	return nil
+}
+
+// stopDeadline stops the shared timer if this waiter armed it (seq != 0).
+// Safe without mu: Timer.Stop is concurrency-safe, and a callback that
+// slips through anyway only causes a harmless broadcast plus a stale
+// fire the next waiter re-arms past.
+func (m *mailbox) stopDeadline(seq uint64) {
+	if seq != 0 {
+		m.timer.Stop()
+	}
 }
 
 // barrier is a reusable sense-reversing barrier on atomics: arrivals
@@ -454,6 +500,16 @@ func newCluster(params netmodel.Params, wire Wire, tr Transport) *Cluster {
 		c.clocks[i] = netmodel.NewClock(params)
 		c.comms[i] = Comm{cluster: c, rank: i, clock: c.clocks[i]}
 		c.pools[i].chunks.clearOnPut = true
+	}
+	// A transport that decodes inbound payloads on its own goroutines
+	// (tcp's connection readers) shares the local rank's pools: flip
+	// them to locked mode and hand the pointer over. Inproc stays
+	// lock-free — the seed's zero-allocation hot path is untouched.
+	if pb, ok := tr.(interface{ bindPools(*rankPools) }); ok {
+		for _, i := range tr.Local() {
+			c.pools[i].shared = true
+			pb.bindPools(&c.pools[i])
+		}
 	}
 	return c
 }

@@ -179,10 +179,18 @@ func appendDataFrame(buf []byte, msg *Message) []byte {
 	return finishFrame(e.buf, len(buf))
 }
 
+// frameDecoder walks a frame body. When pools is set (the tcp
+// steady-state receive path), payload slices and chunk containers are
+// drawn from those rank pools instead of fresh allocations — the pools
+// are in shared (locked) mode there, because this decoder runs on a
+// connection reader goroutine while the rank goroutine Gets and Puts.
+// A nil pools decodes into fresh GC-owned buffers (rendezvous frames,
+// tests).
 type frameDecoder struct {
-	buf []byte
-	off int
-	err error
+	buf   []byte
+	off   int
+	err   error
+	pools *rankPools
 }
 
 func (d *frameDecoder) fail(what string) {
@@ -252,7 +260,12 @@ func (d *frameDecoder) floats() []float64 {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]float64, n)
+	var out []float64
+	if d.pools != nil {
+		out = d.pools.getFloats(n)
+	} else {
+		out = make([]float64, n)
+	}
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
 		d.off += 8
@@ -265,7 +278,12 @@ func (d *frameDecoder) floats32() []float32 {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]float32, n)
+	var out []float32
+	if d.pools != nil {
+		out = d.pools.getFloats32(n)
+	} else {
+		out = make([]float32, n)
+	}
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.buf[d.off:]))
 		d.off += 4
@@ -278,7 +296,12 @@ func (d *frameDecoder) int32s() []int32 {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]int32, n)
+	var out []int32
+	if d.pools != nil {
+		out = d.pools.getInts(n)
+	} else {
+		out = make([]int32, n)
+	}
 	for i := range out {
 		out[i] = int32(binary.LittleEndian.Uint32(d.buf[d.off:]))
 		d.off += 4
@@ -304,13 +327,20 @@ func (d *frameDecoder) chunk() Chunk {
 }
 
 // decodeDataFrame reconstructs a Message from a frameData body (type
-// byte already consumed). All buffers are freshly allocated: a remote
-// message was never in any pool, and the receiver treating it as
-// GC-owned is exactly the "never Put a buffer another rank can observe"
-// rule from payload.go — the decoder is the other rank here.
-func decodeDataFrame(body []byte) (*Message, error) {
-	d := frameDecoder{buf: body}
-	msg := &Message{}
+// byte already consumed). With pools set (the tcp receive path) the
+// message shell and its payload buffers come from the local rank's
+// shared-mode pools, making the receiver-returns ownership protocol
+// symmetric with inproc: the receiver folds the contents and Puts the
+// buffer back, and the steady state allocates nothing. With pools nil,
+// all buffers are freshly allocated and GC-owned (rendezvous, tests).
+func decodeDataFrame(body []byte, pools *rankPools) (*Message, error) {
+	d := frameDecoder{buf: body, pools: pools}
+	var msg *Message
+	if pools != nil {
+		msg = pools.getMsg()
+	} else {
+		msg = &Message{}
+	}
 	msg.Src = int(d.i64())
 	msg.Tag = int(d.i64())
 	msg.Words = int(d.i64())
@@ -325,7 +355,12 @@ func decodeDataFrame(body []byte) (*Message, error) {
 		msg.chunk = d.chunk()
 	case payloadChunks:
 		n := d.n(1)
-		chs := make([]Chunk, 0, n)
+		var chs []Chunk
+		if pools != nil {
+			chs = pools.getChunks(n)[:0]
+		} else {
+			chs = make([]Chunk, 0, n)
+		}
 		for i := 0; i < n && d.err == nil; i++ {
 			chs = append(chs, d.chunk())
 		}
@@ -356,27 +391,45 @@ func writeFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
-// readFrame reads one frame from r, returning its type byte and body
-// after verifying the length bound and the CRC32-C trailer. Integrity
-// failures wrap ErrFrameCorrupt.
+// readFrame reads one frame from r, returning its type byte and a
+// freshly allocated body, after verifying the length bound and the
+// CRC32-C trailer. Integrity failures wrap ErrFrameCorrupt. The
+// steady-state read path uses readFrameInto instead.
 func readFrame(r io.Reader) (byte, []byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto is readFrame with a caller-retained body buffer: the
+// returned body slice reuses buf's capacity when it fits (growing it
+// otherwise), so a connection reader that passes its previous body back
+// in reads every frame with zero allocations. The returned body is only
+// valid until the next call with the same buffer; decoders copy out of
+// it. On error the (possibly grown) buffer is discarded along with the
+// connection — readers never survive a bad frame.
+func readFrameInto(r io.Reader, buf []byte) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, buf, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n < 1 || n > maxFrameBody {
-		return 0, nil, fmt.Errorf("%w: invalid frame length %d (max %d)", ErrFrameCorrupt, n, maxFrameBody)
+		return 0, buf, fmt.Errorf("%w: invalid frame length %d (max %d)", ErrFrameCorrupt, n, maxFrameBody)
 	}
-	body := make([]byte, n-1+4) // body + crc trailer
+	need := int(n) - 1 + 4 // body + crc trailer
+	var body []byte
+	if cap(buf) >= need {
+		body = buf[:need]
+	} else {
+		body = make([]byte, need)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("truncated frame body: %w", err)
+		return 0, buf, fmt.Errorf("truncated frame body: %w", err)
 	}
 	want := binary.LittleEndian.Uint32(body[n-1:])
 	body = body[:n-1]
 	crc := crc32.Update(crc32.Checksum(hdr[4:5], crcTable), crcTable, body)
 	if crc != want {
-		return 0, nil, fmt.Errorf("%w: crc %08x, frame declares %08x", ErrFrameCorrupt, crc, want)
+		return 0, buf, fmt.Errorf("%w: crc %08x, frame declares %08x", ErrFrameCorrupt, crc, want)
 	}
 	return hdr[4], body, nil
 }

@@ -122,7 +122,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if typ != frameData {
 			t.Fatalf("case %d: frame type %d", i, typ)
 		}
-		got, err := decodeDataFrame(body)
+		got, err := decodeDataFrame(body, nil)
 		if err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
@@ -149,7 +149,7 @@ func TestFrameRoundTripBitExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeDataFrame(body)
+	got, err := decodeDataFrame(body, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestFrameTruncationErrors(t *testing.T) {
 		frame := appendDataFrame(nil, msg)
 		body := frame[5 : len(frame)-4] // strip length+type header and crc trailer
 		for cut := 0; cut < len(body); cut++ {
-			if _, err := decodeDataFrame(body[:cut]); err == nil {
+			if _, err := decodeDataFrame(body[:cut], nil); err == nil {
 				// A cut that still parses must only be possible when it
 				// parses to the same message — which can't happen for a
 				// strict prefix, since decode requires exhaustion.
@@ -212,7 +212,7 @@ func TestFrameCorruptLengthRejected(t *testing.T) {
 	frame := appendDataFrame(nil, msg)
 	body := append([]byte(nil), frame[5:len(frame)-4]...)
 	copy(body[len(body)-12:], []byte{0xff, 0xff, 0xff, 0x7f})
-	if _, err := decodeDataFrame(body); err == nil {
+	if _, err := decodeDataFrame(body, nil); err == nil {
 		t.Error("oversized element count accepted")
 	}
 }

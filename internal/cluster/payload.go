@@ -31,6 +31,8 @@ package cluster
 // several ranks (allgathered chunks, the old shared-broadcast payloads)
 // must be freshly allocated by the sender and must never be Put.
 
+import "sync"
+
 // Chunk is a tagged variable-size wire payload: one origin rank's
 // (values, indexes) contribution. It is the message unit of every
 // sparse collective; the collectives package re-exports it as
@@ -127,9 +129,16 @@ func (f *freelist[T]) put(s []T) {
 	f.free = append(f.free, s[:0])
 }
 
-// rankPools is one rank's lock-free buffer freelists. All access is
-// from that rank's goroutine only.
+// rankPools is one rank's buffer freelists. Under the inproc transport
+// every pool is touched only from its rank's goroutine, so access is
+// lock-free (shared=false, the seed behavior — the alloc budgets and
+// hot paths pay one predictable branch). Under tcp the connection
+// reader goroutines decode inbound payloads straight into the local
+// rank's pools (frame.go), so the rank goroutine and the readers share
+// them: newCluster flips shared on and every accessor takes the mutex.
 type rankPools struct {
+	shared   bool       // true: mu guards every access (tcp recv decode)
+	mu       sync.Mutex // used only when shared
 	msgs     []*Message
 	floats   freelist[float64]
 	floats32 freelist[float32] // f32-wire value buffers (half the bytes)
@@ -137,56 +146,128 @@ type rankPools struct {
 	chunks   freelist[Chunk] // clearOnPut: drop payload references
 }
 
+func (p *rankPools) lock() {
+	if p.shared {
+		p.mu.Lock()
+	}
+}
+
+func (p *rankPools) unlock() {
+	if p.shared {
+		p.mu.Unlock()
+	}
+}
+
 func (p *rankPools) getMsg() *Message {
+	p.lock()
 	if n := len(p.msgs); n > 0 {
 		m := p.msgs[n-1]
 		p.msgs[n-1] = nil
 		p.msgs = p.msgs[:n-1]
+		p.unlock()
 		return m
 	}
+	p.unlock()
 	return new(Message)
 }
 
 func (p *rankPools) putMsg(m *Message) {
 	*m = Message{}
+	p.lock()
 	if len(p.msgs) < poolCap {
 		p.msgs = append(p.msgs, m)
 	}
+	p.unlock()
+}
+
+// Locked typed accessors; the Comm Get*/Put* methods and the tcp frame
+// decoder go through these so both transports share one pool protocol.
+
+func (p *rankPools) getFloats(n int) []float64 {
+	p.lock()
+	s := p.floats.get(n)
+	p.unlock()
+	return s
+}
+
+func (p *rankPools) putFloats(s []float64) {
+	p.lock()
+	p.floats.put(s)
+	p.unlock()
+}
+
+func (p *rankPools) getFloats32(n int) []float32 {
+	p.lock()
+	s := p.floats32.get(n)
+	p.unlock()
+	return s
+}
+
+func (p *rankPools) putFloats32(s []float32) {
+	p.lock()
+	p.floats32.put(s)
+	p.unlock()
+}
+
+func (p *rankPools) getInts(n int) []int32 {
+	p.lock()
+	s := p.ints.get(n)
+	p.unlock()
+	return s
+}
+
+func (p *rankPools) putInts(s []int32) {
+	p.lock()
+	p.ints.put(s)
+	p.unlock()
+}
+
+func (p *rankPools) getChunks(n int) []Chunk {
+	p.lock()
+	s := p.chunks.get(n)
+	p.unlock()
+	return s
+}
+
+func (p *rankPools) putChunks(s []Chunk) {
+	p.lock()
+	p.chunks.put(s)
+	p.unlock()
 }
 
 // GetFloats returns a length-n value buffer from this rank's pool.
 // Contents are unspecified; the caller overwrites the full length
 // before sending. See the ownership-transfer protocol above.
-func (cm *Comm) GetFloats(n int) []float64 { return cm.pools().floats.get(n) }
+func (cm *Comm) GetFloats(n int) []float64 { return cm.pools().getFloats(n) }
 
 // PutFloats returns a value buffer to this rank's pool. The caller must
 // hold the only remaining reference; nil is a no-op.
-func (cm *Comm) PutFloats(s []float64) { cm.pools().floats.put(s) }
+func (cm *Comm) PutFloats(s []float64) { cm.pools().putFloats(s) }
 
 // GetFloat32s returns a length-n f32-wire value buffer from this rank's
 // pool. Senders fill it by rounding float64 values at the edge; the
 // ownership-transfer protocol is identical to GetFloats.
-func (cm *Comm) GetFloat32s(n int) []float32 { return cm.pools().floats32.get(n) }
+func (cm *Comm) GetFloat32s(n int) []float32 { return cm.pools().getFloats32(n) }
 
 // PutFloat32s returns an f32 value buffer to this rank's pool; nil is a
 // no-op.
-func (cm *Comm) PutFloat32s(s []float32) { cm.pools().floats32.put(s) }
+func (cm *Comm) PutFloat32s(s []float32) { cm.pools().putFloats32(s) }
 
 // GetInt32s returns a length-n index buffer from this rank's pool.
-func (cm *Comm) GetInt32s(n int) []int32 { return cm.pools().ints.get(n) }
+func (cm *Comm) GetInt32s(n int) []int32 { return cm.pools().getInts(n) }
 
 // PutInt32s returns an index buffer to this rank's pool; nil is a no-op.
-func (cm *Comm) PutInt32s(s []int32) { cm.pools().ints.put(s) }
+func (cm *Comm) PutInt32s(s []int32) { cm.pools().putInts(s) }
 
 // GetChunks returns a length-n chunk container from this rank's pool.
 // Containers carry multi-chunk messages (SendChunks); the receiver
 // releases them with PutChunks after copying the chunks out.
-func (cm *Comm) GetChunks(n int) []Chunk { return cm.pools().chunks.get(n) }
+func (cm *Comm) GetChunks(n int) []Chunk { return cm.pools().getChunks(n) }
 
 // PutChunks returns a chunk container to this rank's pool. Only the
 // container is recycled; the chunks' Data/Aux payloads keep whatever
 // ownership they had.
-func (cm *Comm) PutChunks(s []Chunk) { cm.pools().chunks.put(s) }
+func (cm *Comm) PutChunks(s []Chunk) { cm.pools().putChunks(s) }
 
 // PooledBuffers exposes a snapshot of one rank's pooled value and index
 // buffers for tests (the payload-ownership property test asserts that
@@ -194,6 +275,8 @@ func (cm *Comm) PutChunks(s []Chunk) { cm.pools().chunks.put(s) }
 // production use.
 func (c *Cluster) PooledBuffers(rank int) (floats [][]float64, floats32 [][]float32, ints [][]int32) {
 	p := &c.pools[rank]
+	p.lock()
+	defer p.unlock()
 	return append([][]float64(nil), p.floats.free...),
 		append([][]float32(nil), p.floats32.free...),
 		append([][]int32(nil), p.ints.free...)

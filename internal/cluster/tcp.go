@@ -20,22 +20,41 @@ package cluster
 // under the configured timeout and failures return errors naming the
 // rendezvous step.
 //
-// # Steady state
+// # Steady state: the corked, batched data plane
+//
+// Sends are asynchronous. The rank goroutine encodes each message into
+// an owned pooled frame buffer (never a shared scratch — the buffer
+// belongs to exactly one goroutine at a time, see sendqueue.go) and
+// pushes it onto the destination's bounded sendQueue; a per-peer writer
+// goroutine drains whatever is queued in one batch, writes the frames
+// back-to-back through a CorkBytes-sized bufio.Writer (which flushes
+// itself whenever the cork fills), and flushes once when the queue runs
+// dry. Back-to-back small frames therefore coalesce into single large
+// socket writes — one syscall for a burst instead of one per frame —
+// while a lone frame still departs immediately: the writer only ever
+// holds data while more is already queued behind it. A full queue
+// blocks the sender (bounded memory); a dead connection fails the queue
+// and poisons the mailbox, so an asynchronous send error surfaces at
+// the sender's next transport operation instead of being lost.
 //
 // One reader goroutine per connection decodes frames into the process's
-// single mailbox. Writes come from the rank's own goroutine (data and
-// control) and from the heartbeat goroutine, serialized by a per-peer
-// write mutex. Payload buffers are decoded into fresh allocations — a
-// remote message was never in any local pool — and on the send side the
-// encoded-from buffers are left to the GC because they may fan out to
-// several destinations (payload.go). The zero-allocation steady state
-// is therefore an inproc property; tcp trades it for real sockets.
+// single mailbox, reusing one frame-body buffer per connection and
+// rebuilding Message payloads from the local rank's pools (payload.go):
+// the pools are in shared mode under tcp — reader goroutines and the
+// rank goroutine both touch them — and the receiver-returns ownership
+// protocol is the same as inproc, so steady-state receives allocate
+// nothing. Heartbeat, abort and goodbye frames bypass the send queue
+// and write directly under the per-peer write mutex: failure detection
+// cadence must not sit behind corked data (the writer batches bound how
+// long that direct write can wait — one batch, not one queue).
 //
 // # Control plane and failure
 //
 // Barrier and Gather ride the same connections as data, as ordinary
 // frames under reserved negative tags no application code can use
-// (stampSend rejects tag < 0). They carry no Words and never touch the
+// (stampSend rejects tag < 0). They enqueue behind data — FIFO with
+// everything the rank sent before them, which is what makes Gather a
+// lockstep point before Close. They carry no Words and never touch the
 // netmodel clocks, so modeled time stays bit-identical to inproc: the
 // barrier is centralized at rank 0, which collects every rank's arrival
 // time, takes the max — the same order-independent value the inproc
@@ -99,6 +118,26 @@ const (
 	DefaultHeartbeatMisses   = 3
 )
 
+// Data-plane defaults. SendQueueFrames bounds how far a sender can run
+// ahead of a slow connection before Deliver blocks; CorkBytes is the
+// writer's coalescing buffer — the largest single socket write a batch
+// of small frames merges into.
+const (
+	DefaultSendQueueFrames = 512
+	DefaultCorkBytes       = 256 << 10
+)
+
+// tcpKeepAlivePeriod is the probe interval on mesh connections — a
+// belt-and-suspenders liveness floor well above the application-level
+// heartbeat, for jobs that disable heartbeats.
+const tcpKeepAlivePeriod = 30 * time.Second
+
+// drainGrace bounds the Close-time queue drain and goodbye writes: a
+// peer that stopped reading must not hang this rank's shutdown.
+const drainGrace = 5 * time.Second
+
+var errQueueClosed = errors.New("send queue closed")
+
 // TCPOptions configures one rank of a multi-process TCP job.
 type TCPOptions struct {
 	// Rank and Size identify this process within the job.
@@ -125,6 +164,15 @@ type TCPOptions struct {
 	// HeartbeatMisses is how many silent intervals declare a peer dead
 	// (0 = DefaultHeartbeatMisses).
 	HeartbeatMisses int
+	// SendQueueFrames is the per-peer bound on queued-but-unwritten
+	// frames (0 = DefaultSendQueueFrames). A sender that outruns a
+	// connection by this many frames blocks in Deliver until the writer
+	// catches up.
+	SendQueueFrames int
+	// CorkBytes sizes the per-peer write-coalescing buffer (0 =
+	// DefaultCorkBytes): queued frames merge into socket writes up to
+	// this large before the cork flushes itself.
+	CorkBytes int
 	// Hook, when set, intercepts every outgoing data frame for
 	// deterministic fault injection (internal/chaos builds these from a
 	// seeded plan). Production jobs leave it nil.
@@ -154,28 +202,45 @@ type tcpTransport struct {
 	timeout    time.Duration
 	hbInterval time.Duration
 	hbMisses   int
+	queueDepth int
+	corkBytes  int
 	hook       FaultHook
 	onKill     func()
 
-	box      *mailbox
-	conns    []net.Conn      // indexed by peer rank; nil at self
-	writers  []*bufio.Writer // same indexing; guarded by wmu
-	wmu      []sync.Mutex    // per-peer write locks (rank goroutine vs heartbeats)
-	lastSeen []atomic.Int64  // unix nanos of the peer's last frame, any tag
-	readers  sync.WaitGroup
-	hb       sync.WaitGroup
-	done     chan struct{} // closed by shutdown; releases heartbeats and wedged ranks
-	closed   atomic.Bool
-	aborted  atomic.Bool   // abort already broadcast (first failure wins)
-	wedged   atomic.Bool   // FaultWedge: suppress outgoing heartbeats
-	byes     []atomic.Bool // peer said goodbye: its EOF is a clean departure
-	local    [1]int
+	box       *mailbox
+	conns     []net.Conn                // indexed by peer rank; nil at self
+	writers   []*bufio.Writer           // same indexing; guarded by wmu
+	wmu       []sync.Mutex              // per-peer write locks (writer loop vs heartbeats)
+	queues    []*sendQueue              // per-peer outbound frame queues
+	lastSeen  []atomic.Int64            // unix nanos of the peer's last frame, any tag
+	framePool frameBufPool              // encode buffers: rank goroutine ↔ writer loops
+	pools     atomic.Pointer[rankPools] // local rank's payload pools (recv decode)
+	readers   sync.WaitGroup
+	writerWG  sync.WaitGroup
+	hb        sync.WaitGroup
+	done      chan struct{} // closed by shutdown; releases heartbeats and wedged ranks
+	closed    atomic.Bool
+	aborted   atomic.Bool   // abort already broadcast (first failure wins)
+	wedged    atomic.Bool   // FaultWedge: suppress outgoing heartbeats
+	byes      []atomic.Bool // peer said goodbye: its EOF is a clean departure
+	local     [1]int
+
+	// writerGate, when non-nil, is received from by every writer loop
+	// before each batch — a test-only valve that holds data behind the
+	// cork while heartbeats keep flowing. Set before traffic starts.
+	writerGate atomic.Pointer[chan struct{}]
 
 	// Rank-goroutine-only state (Deliver is single-threaded per rank).
-	scratch     []byte // frame encode buffer
-	frames      int    // outgoing data-frame count, for FaultHook triggers
-	corruptNext bool   // FaultCorrupt latch for the frame being encoded
+	frames      int  // outgoing data-frame count, for FaultHook triggers
+	corruptNext bool // FaultCorrupt latch for the frame being encoded
 }
+
+// bindPools hands the transport its local rank's payload pools; the
+// cluster calls it right after construction (newCluster), before any
+// application traffic. Reader goroutines may decode rendezvous-adjacent
+// frames before the pools arrive — they fall back to fresh allocations
+// until the pointer is set (atomic, so no fence is needed).
+func (tr *tcpTransport) bindPools(p *rankPools) { tr.pools.Store(p) }
 
 func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 	if opts.Size <= 0 {
@@ -196,18 +261,27 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 	if opts.HeartbeatMisses <= 0 {
 		opts.HeartbeatMisses = DefaultHeartbeatMisses
 	}
+	if opts.SendQueueFrames <= 0 {
+		opts.SendQueueFrames = DefaultSendQueueFrames
+	}
+	if opts.CorkBytes <= 0 {
+		opts.CorkBytes = DefaultCorkBytes
+	}
 	tr := &tcpTransport{
 		rank:       opts.Rank,
 		size:       opts.Size,
 		timeout:    opts.Timeout,
 		hbInterval: opts.HeartbeatInterval,
 		hbMisses:   opts.HeartbeatMisses,
+		queueDepth: opts.SendQueueFrames,
+		corkBytes:  opts.CorkBytes,
 		hook:       opts.Hook,
 		onKill:     opts.OnKill,
 		box:        newMailbox(),
 		conns:      make([]net.Conn, opts.Size),
 		writers:    make([]*bufio.Writer, opts.Size),
 		wmu:        make([]sync.Mutex, opts.Size),
+		queues:     make([]*sendQueue, opts.Size),
 		lastSeen:   make([]atomic.Int64, opts.Size),
 		byes:       make([]atomic.Bool, opts.Size),
 		done:       make(chan struct{}),
@@ -221,6 +295,9 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 		}
 		return nil, err
 	}
+	// Initialize every connection's writer and queue BEFORE starting any
+	// goroutine: a read loop that fails early broadcasts an abort to all
+	// peers, which must never observe a half-built tr.writers/tr.queues.
 	now := time.Now().UnixNano()
 	for peer, conn := range tr.conns {
 		if conn == nil {
@@ -229,16 +306,39 @@ func newTCPTransport(opts TCPOptions) (*tcpTransport, error) {
 		// Rendezvous deadlines are done; steady-state stalls are bounded
 		// by the mailbox deadline instead, so clear the socket ones.
 		conn.SetDeadline(time.Time{})
-		tr.writers[peer] = bufio.NewWriterSize(conn, 1<<16)
+		tuneConn(conn)
+		tr.writers[peer] = bufio.NewWriterSize(conn, tr.corkBytes)
+		tr.queues[peer] = newSendQueue(tr.queueDepth)
 		tr.lastSeen[peer].Store(now)
+	}
+	for peer, conn := range tr.conns {
+		if conn == nil {
+			continue
+		}
 		tr.readers.Add(1)
 		go tr.readLoop(peer, conn)
+		tr.writerWG.Add(1)
+		go tr.writerLoop(peer)
 	}
 	if tr.hbInterval > 0 && tr.size > 1 {
 		tr.hb.Add(1)
 		go tr.heartbeatLoop()
 	}
 	return tr, nil
+}
+
+// tuneConn sets the socket options every mesh connection wants:
+// TCP_NODELAY (Go's default, made explicit — the transport corks in
+// userspace, so Nagle would only add latency under it) and keepalive as
+// a kernel-level liveness floor.
+func tuneConn(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(true)
+	tc.SetKeepAlive(true)
+	tc.SetKeepAlivePeriod(tcpKeepAlivePeriod)
 }
 
 // dialRetry dials addr, retrying transient failures under exponential
@@ -392,9 +492,10 @@ func (tr *tcpTransport) fail(err error) {
 	}
 }
 
-// broadcastAbort best-effort writes an abort frame to every peer. Write
-// deadlines bound the attempt: an already-wedged peer must not hang the
-// teardown of this rank.
+// broadcastAbort best-effort writes an abort frame to every peer,
+// bypassing the send queues: an abort must not wait behind corked data.
+// Write deadlines bound the attempt: an already-wedged peer must not
+// hang the teardown of this rank.
 func (tr *tcpTransport) broadcastAbort(err error) {
 	frame := appendDataFrame(nil, &Message{
 		Src: tr.rank, Tag: tagAbort,
@@ -411,14 +512,18 @@ func (tr *tcpTransport) broadcastAbort(err error) {
 }
 
 // readLoop decodes one connection's frames into the mailbox until the
-// connection dies or the transport closes. Every decoded message is a
-// fresh allocation — it must be, the buffers belong to this process's
-// GC, not to any pool.
+// connection dies or the transport closes. The frame body lands in one
+// per-connection buffer reused across frames (this goroutine is its
+// only toucher — zero synchronization), and payloads decode into the
+// local rank's pools, so a steady-state receive allocates nothing.
 func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
 	defer tr.readers.Done()
 	r := bufio.NewReaderSize(conn, 1<<16)
+	var body []byte // reused across frames; decoder copies out of it
 	for {
-		typ, body, err := readFrame(r)
+		var typ byte
+		var err error
+		typ, body, err = readFrameInto(r, body)
 		if err != nil {
 			if errors.Is(err, ErrFrameCorrupt) && !tr.closed.Load() {
 				// Integrity failure with the sender known: attribute it.
@@ -440,7 +545,8 @@ func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
 			tr.fail(fmt.Errorf("rank %d sent unexpected frame type %d mid-job", peer, typ))
 			return
 		}
-		msg, err := decodeDataFrame(body)
+		pools := tr.pools.Load()
+		msg, err := decodeDataFrame(body, pools)
 		if err != nil {
 			tr.fail(fmt.Errorf("undecodable frame from rank %d: %w", peer, err))
 			return
@@ -448,9 +554,11 @@ func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
 		switch msg.Tag {
 		case tagBye:
 			tr.byes[peer].Store(true)
+			tr.releaseMsg(pools, msg)
 			continue
 		case tagHeartbeat:
 			// Liveness only; lastSeen is already refreshed.
+			tr.releaseMsg(pools, msg)
 			continue
 		case tagAbort:
 			// The origin broadcast to the whole mesh; poison locally
@@ -463,12 +571,22 @@ func (tr *tcpTransport) readLoop(peer int, conn net.Conn) {
 	}
 }
 
+// releaseMsg returns a decoded control message's shell to the pools it
+// was drawn from (payload-free control frames only).
+func (tr *tcpTransport) releaseMsg(pools *rankPools, msg *Message) {
+	if pools != nil {
+		pools.putMsg(msg)
+	}
+}
+
 // heartbeatLoop is the per-process prober: every interval it sends a
 // heartbeat frame to every live peer and declares dead any peer silent
 // for hbMisses intervals — including peers whose socket is still open
 // (wedged process, dropped link), which EOF detection can never catch.
 // It runs in its own goroutine, so a rank deep in compute still
 // heartbeats; only process death or a deliberate wedge silences it.
+// Heartbeats bypass the send queues (direct write under wmu): cadence
+// must hold even when a queue is full of corked data.
 func (tr *tcpTransport) heartbeatLoop() {
 	defer tr.hb.Done()
 	tick := time.NewTicker(tr.hbInterval)
@@ -518,6 +636,9 @@ func (tr *tcpTransport) deadline() time.Time {
 	return time.Now().Add(tr.timeout)
 }
 
+// write pushes one frame through dst's bufio writer and flushes, under
+// the write mutex. This is the queue-jumping control path — heartbeat,
+// abort, goodbye — and the rendezvous table; all data takes enqueue.
 func (tr *tcpTransport) write(dst int, frame []byte) error {
 	w := tr.writers[dst]
 	if w == nil {
@@ -529,6 +650,74 @@ func (tr *tcpTransport) write(dst int, frame []byte) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// writerLoop drains dst's send queue: each pop takes everything queued,
+// the batch is written back-to-back through the corked bufio writer
+// (which flushes itself at CorkBytes), and the cork is released — one
+// explicit flush — only when the queue has run dry. The write mutex is
+// held per batch, so a control-path write waits at most one batch, and
+// frame buffers return to the shared pool the rank goroutine encodes
+// into. A write error fails the queue (waking any blocked Deliver) and
+// poisons the mailbox with the destination attributed.
+func (tr *tcpTransport) writerLoop(dst int) {
+	defer tr.writerWG.Done()
+	q := tr.queues[dst]
+	w := tr.writers[dst]
+	var batch [][]byte
+	for {
+		var ok bool
+		batch, ok = q.pop(batch)
+		if !ok {
+			return
+		}
+		if gate := tr.writerGate.Load(); gate != nil {
+			<-*gate
+		}
+		tr.wmu[dst].Lock()
+		var err error
+		for i, frame := range batch {
+			if err == nil {
+				err = writeFrame(w, frame)
+			}
+			tr.framePool.put(frame)
+			batch[i] = nil
+		}
+		if err == nil && q.empty() {
+			err = w.Flush()
+		}
+		tr.wmu[dst].Unlock()
+		if err != nil {
+			q.fail(err)
+			tr.fail(fmt.Errorf("send to rank %d failed: %w", dst, err))
+			return
+		}
+	}
+}
+
+// enqueue encodes msg into an owned pooled frame buffer and pushes it
+// onto dst's send queue, blocking while the queue is full. The buffer
+// belongs to the queue once push succeeds — the rank goroutine never
+// touches it again (no shared scratch: an in-flight frame can never be
+// overwritten by the next encode).
+func (tr *tcpTransport) enqueue(dst int, msg *Message) error {
+	q := tr.queues[dst]
+	if q == nil {
+		return fmt.Errorf("no connection to rank %d", dst)
+	}
+	frame := appendDataFrame(tr.framePool.get(), msg)
+	if tr.corruptNext {
+		tr.corruptNext = false
+		// Flip a payload bit after the CRC was computed: the frame goes
+		// out with a stale checksum, exactly what on-wire corruption
+		// produces, and the receiver must reject it with attribution.
+		frame[5] ^= 0x80
+	}
+	if err := q.push(frame); err != nil {
+		tr.framePool.put(frame) // queue dropped it; the buffer is ours again
+		return err
+	}
+	return nil
 }
 
 // inject applies the fault hook's verdict for the data frame about to
@@ -572,22 +761,19 @@ func (tr *tcpTransport) inject(src *Comm, dst int) {
 	}
 }
 
+// Deliver encodes and enqueues one data frame. The send is
+// asynchronous: a connection failure observed by the writer loop
+// surfaces here only if the queue already failed — otherwise it poisons
+// the mailbox and the sender trips over it at its next receive,
+// barrier, or gather.
 func (tr *tcpTransport) Deliver(src *Comm, dst int, msg *Message) {
 	if tr.hook != nil {
 		tr.inject(src, dst)
 	}
-	tr.scratch = appendDataFrame(tr.scratch[:0], msg)
-	if tr.corruptNext {
-		tr.corruptNext = false
-		// Flip a payload bit after the CRC was computed: the frame goes
-		// out with a stale checksum, exactly what on-wire corruption
-		// produces, and the receiver must reject it with attribution.
-		tr.scratch[5] ^= 0x80
-	}
-	err := tr.write(dst, tr.scratch)
+	err := tr.enqueue(dst, msg)
 	// Recycle only the Message shell. Its payload buffers may fan out to
 	// several destinations, so they are left to the GC (payload.go): on
-	// tcp the pools only feed the send side.
+	// tcp the pools feed the send side and refill from the recv side.
 	src.release(msg)
 	if err != nil {
 		werr := fmt.Errorf("send to rank %d failed: %w", dst, err)
@@ -604,8 +790,11 @@ func (tr *tcpTransport) TakeEach(rank int, keys []RecvKey, fn func(i int, msg *M
 	return tr.box.takeEach(keys, fn, tr.deadline())
 }
 
-// sendControl writes a clock-free control message (reserved tag) to
-// dst. Exactly one of fl / blob may be set; both nil is a bare signal.
+// sendControl enqueues a clock-free control message (reserved tag) to
+// dst, behind any data frames already queued — barrier and gather
+// ordering with respect to data is what makes Gather a pre-Close
+// lockstep. Exactly one of fl / blob may be set; both nil is a bare
+// signal.
 func (tr *tcpTransport) sendControl(dst, tag int, fl []float64, blob []byte) error {
 	msg := Message{Src: tr.rank, Tag: tag}
 	switch {
@@ -614,11 +803,30 @@ func (tr *tcpTransport) sendControl(dst, tag int, fl []float64, blob []byte) err
 	case blob != nil:
 		msg.kind, msg.Data = payloadAny, blob
 	}
-	tr.scratch = appendDataFrame(tr.scratch[:0], &msg)
-	if err := tr.write(dst, tr.scratch); err != nil {
+	if err := tr.enqueue(dst, &msg); err != nil {
 		return fmt.Errorf("control send (tag %d) to rank %d failed: %w", tag, dst, err)
 	}
 	return nil
+}
+
+// takeControl receives one control message and returns its float
+// payload (NaN-boxed as 0 when absent), recycling the message shell and
+// its pooled floats buffer.
+func (tr *tcpTransport) takeControl(src, tag int) (float64, error) {
+	msg, err := tr.box.take(src, tag, tr.deadline())
+	if err != nil {
+		return 0, err
+	}
+	var v float64
+	if len(msg.floats) > 0 {
+		v = msg.floats[0]
+	}
+	if pools := tr.pools.Load(); pools != nil {
+		pools.putFloats(msg.floats)
+		msg.floats = nil
+		pools.putMsg(msg)
+	}
+	return v, nil
 }
 
 // BarrierWait centralizes the barrier at rank 0: arrivals report their
@@ -632,12 +840,12 @@ func (tr *tcpTransport) BarrierWait(rank int, t float64) (float64, error) {
 	if rank == 0 {
 		maxT := t
 		for src := 1; src < tr.size; src++ {
-			msg, err := tr.box.take(src, tagBarrier, tr.deadline())
+			v, err := tr.takeControl(src, tagBarrier)
 			if err != nil {
 				return 0, fmt.Errorf("barrier: %w", err)
 			}
-			if msg.floats[0] > maxT {
-				maxT = msg.floats[0]
+			if v > maxT {
+				maxT = v
 			}
 		}
 		for dst := 1; dst < tr.size; dst++ {
@@ -650,11 +858,11 @@ func (tr *tcpTransport) BarrierWait(rank int, t float64) (float64, error) {
 	if err := tr.sendControl(0, tagBarrier, []float64{t}, nil); err != nil {
 		return 0, fmt.Errorf("barrier: %w", err)
 	}
-	msg, err := tr.box.take(0, tagBarrierRelease, tr.deadline())
+	v, err := tr.takeControl(0, tagBarrierRelease)
 	if err != nil {
 		return 0, fmt.Errorf("barrier: %w", err)
 	}
-	return msg.floats[0], nil
+	return v, nil
 }
 
 // Gather funnels every rank's blob to rank 0 and acks the others, which
@@ -672,6 +880,9 @@ func (tr *tcpTransport) Gather(rank int, blob []byte) ([][]byte, error) {
 			}
 			b, _ := msg.Data.([]byte)
 			out[src] = b
+			if pools := tr.pools.Load(); pools != nil {
+				pools.putMsg(msg)
+			}
 		}
 		for dst := 1; dst < tr.size; dst++ {
 			if err := tr.sendControl(dst, tagGatherAck, nil, nil); err != nil {
@@ -686,21 +897,22 @@ func (tr *tcpTransport) Gather(rank int, blob []byte) ([][]byte, error) {
 	if err := tr.sendControl(0, tagGather, nil, blob); err != nil {
 		return nil, fmt.Errorf("gather: %w", err)
 	}
-	if _, err := tr.box.take(0, tagGatherAck, tr.deadline()); err != nil {
+	if _, err := tr.takeControl(0, tagGatherAck); err != nil {
 		return nil, fmt.Errorf("gather: %w", err)
 	}
 	return nil, nil
 }
 
-// Close tears the mesh down cleanly: says goodbye on every connection
-// (so peers still draining their side treat the EOF as a departure, not
-// a death), then closes the connections and waits for the reader and
-// heartbeat goroutines to drain, so a closed transport leaks nothing.
+// Close tears the mesh down cleanly: drains every send queue (so no
+// enqueued data is cut off), says goodbye on every connection (so peers
+// still draining their side treat the EOF as a departure, not a death),
+// then closes the connections and waits for the reader and heartbeat
+// goroutines, so a closed transport leaks nothing.
 func (tr *tcpTransport) Close() error { return tr.shutdown(true) }
 
-// Abort tears the mesh down without the goodbye handshake. Peers see a
-// bare EOF — exactly what a killed process produces — so tests use it
-// to simulate worker death in-process.
+// Abort tears the mesh down without draining or the goodbye handshake.
+// Peers see a bare EOF — exactly what a killed process produces — so
+// tests use it to simulate worker death in-process.
 func (tr *tcpTransport) Abort() { tr.shutdown(false) }
 
 func (tr *tcpTransport) shutdown(sayGoodbye bool) error {
@@ -710,14 +922,33 @@ func (tr *tcpTransport) shutdown(sayGoodbye bool) error {
 	close(tr.done)
 	tr.hb.Wait()
 	if sayGoodbye {
+		// Drain under a grace deadline: healthy queues flush in one
+		// batch; a peer that stopped reading must not hang Close.
+		wd := time.Now().Add(drainGrace)
+		for _, c := range tr.conns {
+			if c != nil {
+				c.SetWriteDeadline(wd)
+			}
+		}
+		for _, q := range tr.queues {
+			if q != nil {
+				q.close()
+			}
+		}
+		tr.writerWG.Wait()
 		bye := appendDataFrame(nil, &Message{Src: tr.rank, Tag: tagBye})
-		wd := time.Now().Add(2 * time.Second)
 		for peer, conn := range tr.conns {
 			if conn != nil {
 				// Best effort: an already-dead peer can't hear the goodbye,
 				// and a wedged one must not hang our shutdown.
-				conn.SetWriteDeadline(wd)
 				tr.write(peer, bye)
+			}
+		}
+	} else {
+		// Abort: discard queued frames; writers exit without draining.
+		for _, q := range tr.queues {
+			if q != nil {
+				q.fail(errQueueClosed)
 			}
 		}
 	}
@@ -727,5 +958,6 @@ func (tr *tcpTransport) shutdown(sayGoodbye bool) error {
 		}
 	}
 	tr.readers.Wait()
+	tr.writerWG.Wait()
 	return nil
 }

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTCPRecvAllocBudget: after warm-up, a full send+recv exchange over
+// the TCP transport stays within a small constant allocation budget per
+// step — the pooled receive path (reused read buffer, rank-pool decode)
+// must not allocate per frame. The ranks are persistent goroutines
+// driven over channels so the measurement sees only transport work, not
+// harness setup. testing.AllocsPerRun counts mallocs process-wide, so
+// the budget covers both ranks' sends, writers, readers, and decodes.
+func TestTCPRecvAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful under -short race mixes")
+	}
+	const vals = 4096 // large enough that one unpooled payload per frame trips the budget
+	const tag = 7
+	clusters := startTCPJob(t, 2, params(), WireF64, 60*time.Second)
+	trigger := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	stepDone := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	jobDone := make(chan error, 2)
+	for r, c := range clusters {
+		go func(r int, c *Cluster) {
+			jobDone <- c.Run(func(cm *Comm) error {
+				peer := 1 - cm.Rank()
+				for range trigger[cm.Rank()] {
+					buf := cm.GetFloats(vals)
+					cm.SendFloats(peer, tag, buf, vals)
+					cm.PutFloats(cm.RecvFloat64(peer, tag))
+					stepDone[cm.Rank()] <- struct{}{}
+				}
+				return nil
+			})
+		}(r, c)
+	}
+	step := func() {
+		trigger[0] <- struct{}{}
+		trigger[1] <- struct{}{}
+		<-stepDone[0]
+		<-stepDone[1]
+	}
+	for i := 0; i < 50; i++ {
+		step() // warm the payload, frame, and message pools
+	}
+	got := testing.AllocsPerRun(20, step)
+	close(trigger[0])
+	close(trigger[1])
+	for i := 0; i < 2; i++ {
+		if err := <-jobDone; err != nil {
+			t.Fatalf("rank job: %v", err)
+		}
+	}
+	t.Logf("tcp steady-state allocs per exchange step (2 frames of %d floats): %.1f", vals, got)
+	// One unpooled 32KiB payload per frame would add ≥2 allocs/step; the
+	// pooled steady state measures ≈0.
+	if got > 8 {
+		t.Fatalf("tcp exchange allocates %.1f per step, budget 8", got)
+	}
+}
+
+// TestTCPCorkedFIFO: bursts of data frames interleaved with barriers —
+// the corked writer may batch frames however it likes, but per-peer
+// FIFO order and barrier lockstep must hold. Run under -race in CI,
+// this is the concurrency contract of the queue/writer split.
+func TestTCPCorkedFIFO(t *testing.T) {
+	leakCheck(t)
+	const p = 3
+	const rounds = 20
+	const burst = 32
+	clusters := startTCPJob(t, p, params(), WireF64, 60*time.Second)
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		next := (cm.Rank() + 1) % p
+		prev := (cm.Rank() - 1 + p) % p
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < burst; i++ {
+				buf := cm.GetFloats(2)
+				buf[0], buf[1] = float64(round), float64(i)
+				cm.SendFloats(next, 7, buf, 2)
+			}
+			for i := 0; i < burst; i++ {
+				got := cm.RecvFloat64(prev, 7)
+				if int(got[0]) != round || int(got[1]) != i {
+					return fmt.Errorf("rank %d round %d frame %d: got (%v, %v)",
+						cm.Rank(), round, i, got[0], got[1])
+				}
+				cm.PutFloats(got)
+			}
+			// The barrier's control frames ride the same queues as the
+			// data; lockstep after each burst proves they stay ordered.
+			cm.Barrier()
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestTCPHeartbeatBypassesFullSendQueue: liveness probes must not sit
+// behind corked data. The test freezes rank 0's writer goroutines with
+// the test-only writerGate — data frames pile up queued — while the
+// heartbeat cadence (direct writes, queue-jumping) keeps rank 0 alive
+// far past the miss budget. Releasing the gate delivers everything in
+// order.
+func TestTCPHeartbeatBypassesFullSendQueue(t *testing.T) {
+	leakCheck(t)
+	const hb = 20 * time.Millisecond
+	const misses = 3
+	const frames = 64
+	clusters := startTCPJobOpts(t, 2, params(), WireF64, 60*time.Second,
+		func(r int, o *TCPOptions) {
+			o.HeartbeatInterval = hb
+			o.HeartbeatMisses = misses
+		})
+	tr := clusters[0].transport.(*tcpTransport)
+	gate := make(chan struct{})
+	tr.writerGate.Store(&gate)
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		if cm.Rank() == 0 {
+			for i := 0; i < frames; i++ {
+				buf := cm.GetFloats(1)
+				buf[0] = float64(i)
+				cm.SendFloats(1, 7, buf, 1)
+			}
+			// Hold the gate for >4× the miss budget: if heartbeats were
+			// corked behind the queued data, rank 1 would declare rank 0
+			// dead here and the job would fail.
+			time.Sleep(time.Duration(4*misses+2) * hb)
+			close(gate)
+			return nil
+		}
+		for i := 0; i < frames; i++ {
+			got := cm.RecvFloat64(0, 7)
+			if int(got[0]) != i {
+				return fmt.Errorf("frame %d: got %v", i, got[0])
+			}
+			cm.PutFloats(got)
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

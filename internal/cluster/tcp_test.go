@@ -17,14 +17,14 @@ import (
 // that the processes collapsed into one). Skips the test with a clear
 // reason when the sandbox forbids loopback listening. The returned
 // clusters are closed on test cleanup.
-func startTCPJob(t *testing.T, p int, params netmodel.Params, wire Wire, timeout time.Duration) []*Cluster {
+func startTCPJob(t testing.TB, p int, params netmodel.Params, wire Wire, timeout time.Duration) []*Cluster {
 	t.Helper()
 	return startTCPJobOpts(t, p, params, wire, timeout, nil)
 }
 
 // startTCPJobOpts is startTCPJob with a per-rank options hook (fault
 // injection, heartbeat tuning) applied before each rank joins.
-func startTCPJobOpts(t *testing.T, p int, params netmodel.Params, wire Wire, timeout time.Duration, custom func(r int, o *TCPOptions)) []*Cluster {
+func startTCPJobOpts(t testing.TB, p int, params netmodel.Params, wire Wire, timeout time.Duration, custom func(r int, o *TCPOptions)) []*Cluster {
 	t.Helper()
 	clusters := make([]*Cluster, p)
 	errs := make([]error, p)

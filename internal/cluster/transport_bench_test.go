@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkTransport measures the raw TCP data plane: a windowed stream
+// of typed payload frames around a P-rank loopback ring, every rank a
+// goroutine of this process (same collapsed-process trick as the tcp
+// tests — the transport can't tell). One benchmark op is one frame sent
+// per rank, so allocs/op from -benchmem is allocs per P frames across
+// the whole mesh (all goroutines: senders, writers, readers). Custom
+// metrics report aggregate frames/s and wire MB/s.
+//
+// The window keeps ~64 frames in flight per rank — enough back-to-back
+// traffic for the corked writer to coalesce, bounded enough that
+// mailboxes don't absorb the whole run. Results feed
+// BENCH_transport.json; CI runs the P=2 small-frame shape as a smoke.
+func BenchmarkTransport(b *testing.B) {
+	for _, p := range []int{2, 4} {
+		for _, wire := range []Wire{WireF64, WireF32} {
+			for _, vals := range []int{16, 256, 4096} {
+				b.Run(fmt.Sprintf("P%d/%s/vals%d", p, wire, vals), func(b *testing.B) {
+					benchTransportStream(b, p, wire, vals)
+				})
+			}
+		}
+	}
+}
+
+func benchTransportStream(b *testing.B, p int, wire Wire, vals int) {
+	clusters := startTCPJob(b, p, params(), wire, 120*time.Second)
+	const window = 64
+	const tag = 7
+
+	// Exact wire bytes of one float frame: 4 len + 1 type + 8·3
+	// (src,tag,words) + 8 depart + 1 kind + 4 count + payload + 4 crc.
+	elem := 8
+	if wire == WireF32 {
+		elem = 4
+	}
+	frameBytes := 46 + vals*elem
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	errs := runTCPJob(clusters, func(cm *Comm) error {
+		next := (cm.Rank() + 1) % p
+		prev := (cm.Rank() - 1 + p) % p
+		recvOne := func() {
+			if wire == WireF32 {
+				cm.PutFloat32s(cm.RecvFloat32(prev, tag))
+			} else {
+				cm.PutFloats(cm.RecvFloat64(prev, tag))
+			}
+		}
+		inFlight := 0
+		for i := 0; i < b.N; i++ {
+			if wire == WireF32 {
+				buf := cm.GetFloat32s(vals)
+				cm.SendFloat32s(next, tag, buf, wire.Words(vals))
+			} else {
+				buf := cm.GetFloats(vals)
+				cm.SendFloats(next, tag, buf, vals)
+			}
+			if inFlight++; inFlight > window {
+				recvOne()
+				inFlight--
+			}
+		}
+		for ; inFlight > 0; inFlight-- {
+			recvOne()
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	for r, err := range errs {
+		if err != nil {
+			b.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	frames := float64(b.N) * float64(p)
+	b.ReportMetric(frames/elapsed.Seconds(), "frames/s")
+	b.ReportMetric(frames*float64(frameBytes)/elapsed.Seconds()/1e6, "MB/s")
+}

@@ -1,0 +1,78 @@
+// Package profiling gives the oktopk commands shared -cpuprofile and
+// -memprofile flags, so transport and kernel hot paths can be profiled
+// from the same binaries the benchmarks measure:
+//
+//	oktopk-bench -transport tcp -cpuprofile cpu.pprof tcpsmoke
+//	oktopk-train -memprofile mem.pprof -p 4 -iters 50
+//
+// Importing the package registers the flags. After flag.Parse, Start
+// begins CPU profiling (when requested); Stop — or Exit, which wraps
+// os.Exit — finishes the CPU profile and writes the allocation profile.
+// Stop is idempotent, so `defer profiling.Stop()` composes with
+// profiling.Exit on early-exit paths.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+
+	stopOnce sync.Once
+	started  bool
+)
+
+// Start begins CPU profiling if -cpuprofile was given. Call it once,
+// after flag.Parse.
+func Start() {
+	if *cpuProfile == "" {
+		return
+	}
+	f, err := os.Create(*cpuProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		os.Exit(2)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+		os.Exit(2)
+	}
+	started = true
+}
+
+// Stop finishes the CPU profile and writes the allocation profile, if
+// either was requested. Safe to call more than once.
+func Stop() {
+	stopOnce.Do(func() {
+		if started {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	})
+}
+
+// Exit flushes the profiles and exits with code. The commands use it in
+// place of os.Exit so -cpuprofile/-memprofile survive every exit path.
+func Exit(code int) {
+	Stop()
+	os.Exit(code)
+}

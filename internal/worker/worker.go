@@ -70,6 +70,12 @@ type Job struct {
 	// HeartbeatMisses is the silent-interval count that declares a peer
 	// dead (0 = cluster.DefaultHeartbeatMisses).
 	HeartbeatMisses int `json:",omitempty"`
+	// SendQueueFrames bounds each peer's queued-but-unwritten frames
+	// (0 = cluster.DefaultSendQueueFrames).
+	SendQueueFrames int `json:",omitempty"`
+	// CorkBytes sizes each peer's write-coalescing buffer
+	// (0 = cluster.DefaultCorkBytes).
+	CorkBytes int `json:",omitempty"`
 	// Wire is the collective wire format.
 	Wire cluster.Wire
 
@@ -190,6 +196,8 @@ func (job Job) tcpOptions() cluster.TCPOptions {
 		Timeout:           job.timeout(),
 		HeartbeatInterval: time.Duration(job.HeartbeatMS) * time.Millisecond,
 		HeartbeatMisses:   job.HeartbeatMisses,
+		SendQueueFrames:   job.SendQueueFrames,
+		CorkBytes:         job.CorkBytes,
 		Hook:              job.Chaos.Hook(job.Rank, job.attempt()),
 		OnKill:            func() { os.Exit(3) },
 	}
