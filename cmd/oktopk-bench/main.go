@@ -23,6 +23,11 @@
 // its configuration over real worker processes (one per rank, TCP
 // mesh), reporting host wall-clock alongside the modeled time; all
 // other experiments always use the deterministic in-process backend.
+// -topology {flat,fattree,nvlink} with -node-size and -straggler apply
+// a network topology (hierarchical links, rail contention, seeded
+// straggler injection) to every measurement cluster; the default flat
+// topology is byte-identical to the pre-topology model, and the topo
+// experiment sweeps the presets against each other.
 //
 // The default scale finishes in minutes on a laptop; -full uses the
 // paper's cluster sizes and longer runs.
@@ -38,6 +43,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/netmodel"
 	"repro/internal/profiling"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -62,6 +68,12 @@ var (
 		"cluster backend for transport-aware experiments: inproc (default; all figures, deterministic) or tcp (the tcpsmoke runner trains over one worker process per rank and reports wall-clock)")
 	netTimeout = flag.Duration("net-timeout", 0,
 		"tcp rendezvous/receive timeout for -transport tcp jobs (0 = default 300s for bench jobs)")
+	topology = flag.String("topology", "flat",
+		"network topology preset: flat (uniform, seed behavior), fattree (4x cheaper intra-node links, shared rails) or nvlink (NVLink island: 10x lower intra alpha, 12x intra bandwidth)")
+	nodeSize = flag.Int("node-size", 0,
+		"ranks per node for hierarchical topologies (0 = preset default)")
+	straggler = flag.Float64("straggler", 0,
+		"straggler severity s: ~12.5% of ranks compute (1+s)x slower with 0.1*s jitter, seeded deterministically (0 = off)")
 )
 
 func scale() experiments.Scale {
@@ -97,6 +109,13 @@ func main() {
 		profiling.Exit(2)
 	}
 	experiments.SetOverlapMode(om)
+	topo, err := netmodel.BuildTopology(*topology, *nodeSize, *straggler,
+		experiments.SeedFor("topology", *topology))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiling.Exit(2)
+	}
+	experiments.SetTopology(topo)
 	experiments.SetTraceDir(*traceDir)
 	tk, err := cluster.ParseTransport(*transport)
 	if err != nil {

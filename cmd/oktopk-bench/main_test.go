@@ -13,7 +13,7 @@ import (
 func TestExperimentIDsComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig4", "fig5", "fig6", "fillin",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ovlp",
-		"tcpsmoke"}
+		"topo", "tcpsmoke"}
 	got := map[string]bool{}
 	for _, r := range experiments.Registry() {
 		got[r.ID] = true

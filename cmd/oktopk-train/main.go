@@ -35,6 +35,14 @@
 // -restart-backoff between attempts), resuming from the last
 // checkpoint; the recovered run's loss, metric, and modeled time are
 // bit-identical to an unfailed run's.
+//
+// -topology {flat,fattree,nvlink} with -node-size and -straggler train
+// under a network topology: hierarchical intra/inter-node links, rail
+// contention, and deterministic straggler/jitter injection seeded from
+// -seed. The flat default reproduces the pre-topology model
+// bit-for-bit; -algo Hierarchical selects the two-level node-aware
+// dense allreduce the hierarchical topologies reward. The topology
+// travels inside the job config, so tcp runs price it identically.
 package main
 
 import (
@@ -58,7 +66,7 @@ func main() {
 	worker.ExitIfWorker()
 	var (
 		workload  = flag.String("workload", "VGG", "VGG | LSTM | BERT")
-		algo      = flag.String("algo", "OkTopk", "Dense | DenseOvlp | TopkA | TopkDSA | gTopk | Gaussiank | OkTopk")
+		algo      = flag.String("algo", "OkTopk", "Dense | DenseOvlp | TopkA | TopkDSA | gTopk | Gaussiank | OkTopk | Hierarchical")
 		p         = flag.Int("p", 8, "number of workers")
 		batch     = flag.Int("batch", 4, "per-worker batch size")
 		iters     = flag.Int("iters", 100, "training iterations")
@@ -70,6 +78,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		evalEvery = flag.Int("eval", 20, "evaluate every N iterations")
 		commodity = flag.Bool("commodity", false, "use commodity-cloud network constants")
+		topology  = flag.String("topology", "flat", "network topology preset: flat | fattree | nvlink")
+		nodeSize  = flag.Int("node-size", 0, "ranks per node for hierarchical topologies (0 = preset default; also sets the Hierarchical algorithm's grouping)")
+		straggler = flag.Float64("straggler", 0, "straggler severity s: ~12.5% of ranks compute (1+s)x slower with 0.1*s jitter, seeded from -seed (0 = off)")
 		workers   = flag.Int("workers", 0, "tensor-kernel worker count (0 = GOMAXPROCS; results are bit-identical at any setting)")
 		wire      = flag.String("wire", "f64", "collective wire format: f64 (seed behavior) or f32 (float32 values, half-word accounting)")
 		overlap   = flag.String("overlap", "sim", "DenseOvlp overlap model: sim (simulated bucket pipeline) or legacy (scalar discount)")
@@ -127,6 +138,13 @@ func main() {
 	if *commodity {
 		cfg.Net = netmodel.Commodity()
 	}
+	topo, err := netmodel.BuildTopology(*topology, *nodeSize, *straggler, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		profiling.Exit(2)
+	}
+	cfg.Topology = topo
+	cfg.Reduce.NodeSize = *nodeSize
 	tk, err := cluster.ParseTransport(*transport)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -114,6 +114,9 @@ type Config struct {
 	BalanceTrigger float64
 	// DenseBuckets is the number of gradient buckets DenseOvlp pipelines.
 	DenseBuckets int
+	// NodeSize is the ranks-per-node the Hierarchical algorithm groups
+	// by (0 picks the topology's node size, falling back to 4).
+	NodeSize int
 	// QuantBits, when nonzero (2..8), enables the quantization extension
 	// in Ok-Topk: sparse values travel as QuantBits-bit stochastic
 	// levels (indexes stay exact), shrinking the value half of the wire

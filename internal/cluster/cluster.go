@@ -497,7 +497,7 @@ func newCluster(params netmodel.Params, wire Wire, tr Transport) *Cluster {
 	c.runErrs = make([]error, size)
 	c.runPanics = make([]any, size)
 	for _, i := range tr.Local() {
-		c.clocks[i] = netmodel.NewClock(params)
+		c.clocks[i] = netmodel.NewRankClock(params, i)
 		c.comms[i] = Comm{cluster: c, rank: i, clock: c.clocks[i]}
 		c.pools[i].chunks.clearOnPut = true
 	}
@@ -692,7 +692,7 @@ func (cm *Comm) stampSend(dst, tag, words int) *Message {
 	if tag < 0 {
 		panic("cluster: negative tags are reserved for transport control messages")
 	}
-	depart := cm.clock.StampSend(words)
+	depart := cm.clock.StampSendTo(dst, words)
 	if rec := cm.cluster.recorder; rec != nil {
 		rec.Record(trace.Event{
 			Kind: trace.SendEvent, Rank: cm.rank, Peer: dst,
@@ -770,7 +770,7 @@ func (cm *Comm) recvMsg(src, tag int) *Message {
 
 // deliver charges and records an already-matched message.
 func (cm *Comm) deliver(msg *Message) {
-	cm.clock.StampRecv(msg.Depart, msg.Words)
+	cm.clock.StampRecvFrom(msg.Src, msg.Depart, msg.Words)
 	if rec := cm.cluster.recorder; rec != nil {
 		rec.Record(trace.Event{
 			Kind: trace.RecvEvent, Rank: cm.rank, Peer: msg.Src,

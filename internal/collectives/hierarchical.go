@@ -17,11 +17,16 @@ import (
 // node leader, (2) inter-node allreduce among leaders, (3) intra-node
 // broadcast. With cheap intra-node links this moves only ≈2n(N−1)/N
 // words across the network for N nodes instead of 2n(P−1)/P messages
-// among all P ranks. The cluster size must be divisible by nodeSize.
+// among all P ranks. The node layout matches netmodel.Topology.Node
+// (rank/nodeSize, ragged last node allowed), so on a hierarchical
+// topology steps (1) and (3) ride the cheap intra-node links, and the
+// leader exchange — provably the node's only rail user — declares
+// exclusive rail occupancy via Clock.SetRailUsers, dodging the static
+// sharing penalty every flat collective pays.
 func HierarchicalAllreduce(cm *cluster.Comm, x []float64, nodeSize int) {
 	p := cm.Size()
-	if nodeSize <= 0 || p%nodeSize != 0 {
-		panic("collectives: cluster size must be divisible by nodeSize")
+	if nodeSize <= 0 {
+		panic("collectives: nodeSize must be positive")
 	}
 	if nodeSize == 1 || p == 1 {
 		Allreduce(cm, x)
@@ -31,25 +36,35 @@ func HierarchicalAllreduce(cm *cluster.Comm, x []float64, nodeSize int) {
 	node := rank / nodeSize
 	local := rank % nodeSize
 
-	// Intra-node group (tag space by node id).
-	nodeRanks := make([]int, nodeSize)
+	// Intra-node group (tag space by node id; the last node may be
+	// ragged when nodeSize does not divide P).
+	lo, hi := node*nodeSize, (node+1)*nodeSize
+	if hi > p {
+		hi = p
+	}
+	nodeRanks := make([]int, hi-lo)
 	for i := range nodeRanks {
-		nodeRanks[i] = node*nodeSize + i
+		nodeRanks[i] = lo + i
 	}
 	intra := cluster.NewGroup(cm, nodeRanks, 100+node)
 
 	// (1) Reduce within the node onto local leader 0.
 	Reduce(intra, 0, x)
 
-	// (2) Leaders allreduce across nodes.
+	// (2) Leaders allreduce across nodes. While it runs, each leader is
+	// the only rank of its node touching the inter-node rail.
 	if local == 0 {
-		nNodes := p / nodeSize
+		nNodes := (p + nodeSize - 1) / nodeSize
 		leaderRanks := make([]int, nNodes)
 		for i := range leaderRanks {
 			leaderRanks[i] = i * nodeSize
 		}
 		inter := cluster.NewGroup(cm, leaderRanks, 99)
+		// Link pricing happens at post time, so restoring the
+		// declaration right after the collective returns is safe.
+		prev := cm.Clock().SetRailUsers(1)
 		Allreduce(inter, x)
+		cm.Clock().SetRailUsers(prev)
 	}
 
 	// (3) Broadcast the result within the node. Non-leaders receive a

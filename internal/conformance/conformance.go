@@ -185,6 +185,10 @@ func runRank(cm *cluster.Comm, spec Spec) (RankRecord, error) {
 		algo := train.NewAlgorithm(name, cfg)
 		hg, hl := fnv.New64a(), fnv.New64a()
 		for t := 1; t <= spec.Iters; t++ {
+			// Key jitter draws to the iteration; on a flat topology this
+			// is a plain store with no observable effect, so the stamp is
+			// unconditional (and identical on every backend).
+			cm.Clock().SetStep(t)
 			if ai == 0 && spec.CrashIter > 0 && t == spec.CrashIter && cm.Rank() == spec.CrashRank && spec.Crash != nil {
 				spec.Crash()
 			}

@@ -19,6 +19,13 @@ func testParams() netmodel.Params { return netmodel.Params{Alpha: 2e-6, Beta: 4e
 // tell the difference. Skips the test with a clear reason when the
 // sandbox forbids loopback listening.
 func startTCPMesh(t *testing.T, p int, wire cluster.Wire) []*cluster.Cluster {
+	return startTCPMeshParams(t, p, wire, testParams())
+}
+
+// startTCPMeshParams is startTCPMesh with explicit cost parameters —
+// the topology conformance rows need straggler-active Params on both
+// backends.
+func startTCPMeshParams(t *testing.T, p int, wire cluster.Wire, params netmodel.Params) []*cluster.Cluster {
 	t.Helper()
 	const timeout = 30 * time.Second
 	clusters := make([]*cluster.Cluster, p)
@@ -31,7 +38,7 @@ func startTCPMesh(t *testing.T, p int, wire cluster.Wire) []*cluster.Cluster {
 		clusters[0], errs[0] = cluster.NewTCP(cluster.TCPOptions{
 			Rank: 0, Size: p, Timeout: timeout,
 			OnListen: func(a string) { addrCh <- a },
-		}, testParams(), wire)
+		}, params, wire)
 		if errs[0] != nil {
 			close(addrCh)
 		}
@@ -47,7 +54,7 @@ func startTCPMesh(t *testing.T, p int, wire cluster.Wire) []*cluster.Cluster {
 			defer wg.Done()
 			clusters[r], errs[r] = cluster.NewTCP(cluster.TCPOptions{
 				Rank: r, Size: p, Rendezvous: addr, Timeout: timeout,
-			}, testParams(), wire)
+			}, params, wire)
 		}(r)
 	}
 	wg.Wait()
@@ -124,6 +131,49 @@ func TestTransportConformance(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestTransportConformanceTopology: the cross-backend pin extended to
+// an active topology — node hierarchy, rail contention and seeded
+// straggler/jitter injection all live inside Params, so the same spec
+// on inproc and tcp must still digest bit-identically (results, word
+// accounting, and the post-barrier clock, which now includes every
+// topology-priced delivery and jittered compute charge).
+func TestTransportConformanceTopology(t *testing.T) {
+	topo, err := netmodel.BuildTopology("fattree", 2, 1.5, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := testParams()
+	params.Topo = topo
+	const p = 4
+	spec := Spec{P: p, N: 2048, K: 48, Iters: 4, Seed: 19}
+
+	inproc, err := Run(cluster.NewWire(p, params, cluster.WireF64), spec)
+	if err != nil {
+		t.Fatalf("inproc run: %v", err)
+	}
+	if err := inproc.Check(); err != nil {
+		t.Fatalf("inproc report inconsistent: %v", err)
+	}
+
+	tcp := runTCP(t, startTCPMeshParams(t, p, cluster.WireF64, params), spec)
+	if err := tcp.Check(); err != nil {
+		t.Fatalf("tcp report inconsistent: %v", err)
+	}
+	for _, d := range Diff(inproc, tcp) {
+		t.Errorf("inproc vs tcp under topology: %s", d)
+	}
+
+	// The topology must actually bite: the same spec on the flat network
+	// finishes at a different modeled time.
+	flat, err := Run(cluster.NewWire(p, testParams(), cluster.WireF64), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Ranks[0].ClockBits == inproc.Ranks[0].ClockBits {
+		t.Fatal("topology-active clock identical to flat clock; injection inert")
 	}
 }
 

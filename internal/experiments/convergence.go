@@ -67,6 +67,7 @@ func Convergence(cfg ConvergenceConfig) []Curve {
 			Adam:      adam,
 			Reduce:    allreduce.Config{Density: cfg.Density, TauPrime: 8, Tau: 8},
 			Wire:      wireMode,
+			Topology:  topoMode,
 			Overlap:   overlapMode,
 		}
 		if adam {

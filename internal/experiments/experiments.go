@@ -33,6 +33,21 @@ func SetWire(w cluster.Wire) { wireMode = w }
 // WireMode returns the active experiment wire format.
 func WireMode() cluster.Wire { return wireMode }
 
+// topoMode is the network topology every experiment cluster is built
+// with. Like wireMode it is set once before any specs run (the
+// -topology/-node-size/-straggler flags on cmd/oktopk-bench) and only
+// read afterwards. The zero value is the flat network, which keeps
+// every runner byte-identical to the pre-topology behavior (the golden
+// test in topo_test.go pins this).
+var topoMode netmodel.Topology
+
+// SetTopology selects the topology for subsequently built experiment
+// clusters. Call it before RunSpecs, never concurrently with one.
+func SetTopology(t netmodel.Topology) { topoMode = t }
+
+// TopologyMode returns the active experiment topology.
+func TopologyMode() netmodel.Topology { return topoMode }
+
 // SyntheticGradients builds P gradient vectors of size n with realistic
 // heavy-tailed values: a near-zero Gaussian bulk plus `heavy` large
 // entries whose coordinates are drawn from a shared skewed distribution
@@ -170,7 +185,9 @@ func MeasureVolumeStats(name string, p, n, k int) (mean, max float64) {
 	for i := range algos {
 		algos[i] = train.NewAlgorithm(name, cfg)
 	}
-	c := cluster.NewWire(p, netmodel.PizDaint(), wireMode)
+	params := netmodel.PizDaint()
+	params.Topo = topoMode
+	c := cluster.NewWire(p, params, wireMode)
 	for it := 1; it <= 2; it++ {
 		if it == 2 {
 			c.ResetClocks()
@@ -253,6 +270,7 @@ func Figure4(workload string, density float64, tauPrime, sampleIter int) Thresho
 		Adam:      workload == "BERT",
 		Reduce:    allreduce.Config{Density: density, TauPrime: tauPrime, Tau: tauPrime},
 		Wire:      wireMode,
+		Topology:  topoMode,
 	}
 	cfg.CaptureAcc = true
 	s := train.NewSession(cfg)
@@ -365,6 +383,7 @@ func Figure5(workload string, densities []float64, p, iters, sampleEvery int) Xi
 			Adam:      workload == "BERT",
 			Reduce:    allreduce.Config{Density: d, TauPrime: 8, Tau: 8},
 			Wire:      wireMode,
+			Topology:  topoMode,
 		}
 		cfg.CaptureAcc = true
 		s := train.NewSession(cfg)
@@ -433,6 +452,7 @@ func Figure6(workload string, density float64, p, iters, sampleEvery, tauPrime i
 		Adam:      workload == "BERT",
 		Reduce:    allreduce.Config{Density: density, TauPrime: tauPrime, Tau: tauPrime},
 		Wire:      wireMode,
+		Topology:  topoMode,
 	}
 	cfg.CaptureAcc = true
 	s := train.NewSession(cfg)
@@ -499,6 +519,7 @@ func FillIn(workload string, density float64, p, iters int) FillInResult {
 		LR:        lrFor(workload),
 		Reduce:    allreduce.Config{Density: density},
 		Wire:      wireMode,
+		Topology:  topoMode,
 	}
 	s := train.NewSession(cfg)
 	s.RunIterations(iters, nil)

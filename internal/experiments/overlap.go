@@ -63,6 +63,7 @@ func overlapMeasure(workload string, p, batch, iters, buckets int, mode train.Ov
 		Adam:      workload == "BERT",
 		Reduce:    allreduce.Config{Density: 0.01, TauPrime: 8, Tau: 8, DenseBuckets: buckets},
 		Wire:      wireMode,
+		Topology:  topoMode,
 		Overlap:   mode,
 	}
 	s := train.NewSession(cfg)

@@ -249,6 +249,7 @@ func Registry() []Runner {
 		convRunner("fig13", "BERT pre-training loss vs time", "BERT", 0.01,
 			[]string{"DenseOvlp", "Gaussiank", "OkTopk"}, true),
 		ovlpRunner(),
+		topoRunner(),
 		{
 			ID: "tcpsmoke", Desc: "transport smoke: fig5 Table-1 shape trained end-to-end (P=4)",
 			Specs:  func(Scale) []Spec { return tcpSmokeSpecs() },

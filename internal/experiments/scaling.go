@@ -153,6 +153,7 @@ func WeakScaling(workload string, p, batch, iters int, density float64, algorith
 			Adam:      workload == "BERT",
 			Reduce:    allreduce.Config{Density: density, TauPrime: 8, Tau: 8},
 			Wire:      wireMode,
+			Topology:  topoMode,
 			Overlap:   overlapMode,
 		}
 		s := train.NewSession(cfg)

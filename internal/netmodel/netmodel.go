@@ -39,6 +39,13 @@ type Params struct {
 	Alpha float64 // seconds of latency per message
 	Beta  float64 // seconds per 8-byte word of transfer
 	Gamma float64 // seconds per floating-point operation (compute model)
+
+	// Topo describes the network topology (hierarchy, rail contention,
+	// straggler injection). The zero value is the flat network; see
+	// Topology. It rides inside Params so every construction path —
+	// inproc clusters, TCP worker jobs, checkpoints — carries it
+	// without new plumbing.
+	Topo Topology
 }
 
 // PizDaint returns cost parameters approximating the paper's testbed:
@@ -99,6 +106,23 @@ type Clock struct {
 	sendFree float64 // time at which the send NIC channel becomes free
 	recvFree float64 // time at which the recv NIC channel becomes free
 
+	// Topology state. rank identifies this clock's position in the
+	// topology; hier/noisy cache which parts of params.Topo are live
+	// (both false on the flat network, which keeps every hot path on
+	// the exact pre-topology arithmetic). railUsers is the declared
+	// number of ranks sharing this node's inter-node rail (0 = the
+	// topology default, NodeSize). outSends tracks completion times of
+	// this rank's in-flight inter-node transfers for the dynamic
+	// backlog term of the sharing model. step is the training
+	// iteration jitter is keyed on.
+	rank      int
+	hier      bool
+	noisy     bool
+	isStrag   bool
+	railUsers int
+	outSends  []float64
+	step      int
+
 	phase     Phase
 	phaseTime [numPhases]float64
 
@@ -116,11 +140,78 @@ type Clock struct {
 	recvMsgs  int64
 }
 
-// NewClock returns a zeroed clock with the given machine parameters.
-func NewClock(p Params) *Clock { return &Clock{params: p} }
+// NewClock returns a zeroed clock with the given machine parameters,
+// positioned at rank 0 of the topology.
+func NewClock(p Params) *Clock { return NewRankClock(p, 0) }
+
+// NewRankClock returns a zeroed clock for the given rank. The rank
+// determines the clock's node under p.Topo and its straggler/jitter
+// draws; on the flat topology it is inert.
+func NewRankClock(p Params, rank int) *Clock {
+	c := &Clock{params: p, rank: rank}
+	c.deriveTopo()
+	return c
+}
+
+// deriveTopo caches the topology activity flags and this rank's
+// straggler designation from params.Topo.
+func (c *Clock) deriveTopo() {
+	t := c.params.Topo
+	c.hier = t.NodeSize > 1
+	c.noisy = t.StragglerFrac > 0 || t.Jitter > 0
+	c.isStrag = t.StragglerSlow > 1 && t.IsStraggler(c.rank)
+}
 
 // Params returns the machine constants of this clock.
 func (c *Clock) Params() Params { return c.params }
+
+// Rank returns the topology position this clock was created for.
+func (c *Clock) Rank() int { return c.rank }
+
+// SetStep keys subsequent jitter draws to training iteration t. On the
+// flat topology (and with Jitter off) it is a plain store with no
+// observable effect, so callers may stamp it unconditionally.
+func (c *Clock) SetStep(t int) { c.step = t }
+
+// SetRailUsers declares how many ranks currently share this node's
+// inter-node rail; collectives whose schedule guarantees fewer
+// concurrent rail users than the topology default (NodeSize) call it
+// around the sparse phase — HierarchicalAllreduce declares 1 during
+// its leader exchange. k ≤ 0 restores the default. It returns the
+// previous declaration (0 = default) so callers can restore it.
+func (c *Clock) SetRailUsers(k int) int {
+	prev := c.railUsers
+	if k <= 0 {
+		k = 0
+	}
+	c.railUsers = k
+	return prev
+}
+
+// effRailUsers resolves the declared rail occupancy: the explicit
+// declaration if set, else every rank of the node (NodeSize).
+func (c *Clock) effRailUsers() int {
+	if c.railUsers > 0 {
+		return c.railUsers
+	}
+	if n := c.params.Topo.NodeSize; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// slowdown is this rank's local-compute multiplier at the current step.
+func (c *Clock) slowdown() float64 {
+	t := c.params.Topo
+	m := 1.0
+	if c.isStrag {
+		m = t.StragglerSlow
+	}
+	if t.Jitter > 0 {
+		m *= 1 + t.Jitter*t.JitterU(c.rank, c.step)
+	}
+	return m
+}
 
 // Now returns the rank's current simulated time in seconds.
 func (c *Clock) Now() float64 { return c.cpu }
@@ -145,18 +236,27 @@ func (c *Clock) advance(t float64) {
 func (c *Clock) AdvanceTo(t float64) { c.advance(t) }
 
 // Compute charges flops floating-point operations of local work.
+// Straggler ranks (and jittered steps) run proportionally slower.
 func (c *Clock) Compute(flops float64) {
 	if flops < 0 {
 		panic("netmodel: negative flops")
+	}
+	if c.noisy {
+		c.advance(c.cpu + flops*c.params.Gamma*c.slowdown())
+		return
 	}
 	c.advance(c.cpu + flops*c.params.Gamma)
 }
 
 // Sleep charges a fixed amount of local time (used for modeled I/O and
-// framework overheads).
+// framework overheads). Straggler/jitter scaling applies as in Compute.
 func (c *Clock) Sleep(seconds float64) {
 	if seconds < 0 {
 		panic("netmodel: negative sleep")
+	}
+	if c.noisy {
+		c.advance(c.cpu + seconds*c.slowdown())
+		return
 	}
 	c.advance(c.cpu + seconds)
 }
@@ -195,6 +295,93 @@ func (c *Clock) StampRecv(depart float64, words int) {
 		start = c.recvFree
 	}
 	done := start + float64(words)*c.params.Beta
+	c.recvFree = done
+	c.advance(done)
+	c.recvWords += int64(words)
+	c.recvMsgs++
+}
+
+// StampSendTo is the topology-aware send stamp: it prices the transfer
+// by the link between this rank and dst. On the flat topology (or with
+// no hierarchy configured) it is exactly StampSend — bit-identical by
+// delegation. With hierarchy active:
+//
+//   - intra-node transfers stream at β·IntraBetaFrac with no sharing
+//     (the node-local link is not the contended rail);
+//   - inter-node transfers pay the sharing model: effective
+//     β·(1+σ·sharers), where sharers = (declared rail users − 1) + the
+//     sender's own backlog — the number of its earlier inter-node
+//     transfers still streaming when the CPU posts this one. The
+//     backlog term is what makes a bucket burst (DenseOvlp issuing
+//     reductions while pipeline activation hops are in flight) degrade
+//     its own bandwidth; the static term charges for node neighbours
+//     on the same rail. Both terms are monotone: more sharers never
+//     speed a transfer up.
+func (c *Clock) StampSendTo(dst, words int) float64 {
+	if !c.hier {
+		return c.StampSend(words)
+	}
+	if words < 0 {
+		panic("netmodel: negative message size")
+	}
+	t := c.params.Topo
+	depart := c.cpu
+	if c.sendFree > depart {
+		depart = c.sendFree
+	}
+	var beta float64
+	if t.SameNode(c.rank, dst) {
+		beta = t.intraBeta(c.params.Beta)
+	} else {
+		// Prune completed transfers as of the CPU's post time, then
+		// count the survivors as backlog.
+		live := c.outSends[:0]
+		for _, done := range c.outSends {
+			if done > c.cpu {
+				live = append(live, done)
+			}
+		}
+		c.outSends = live
+		sharers := c.effRailUsers() - 1 + len(c.outSends)
+		beta = t.sharedBeta(c.params.Beta, sharers)
+	}
+	c.sendFree = depart + float64(words)*beta
+	if !t.SameNode(c.rank, dst) {
+		c.outSends = append(c.outSends, c.sendFree)
+	}
+	c.advance(depart)
+	c.sentWords += int64(words)
+	c.sentMsgs++
+	return depart
+}
+
+// StampRecvFrom is the topology-aware receive stamp. Flat topologies
+// delegate to StampRecv exactly. With hierarchy active, intra-node
+// deliveries pay α·IntraAlphaFrac and β·IntraBetaFrac; inter-node
+// deliveries pay full α and the statically shared β (the receiver
+// cannot see the sender's dynamic backlog — that is priced at the send
+// side — but its own node neighbours contend for its rail too).
+func (c *Clock) StampRecvFrom(src int, depart float64, words int) {
+	if !c.hier {
+		c.StampRecv(depart, words)
+		return
+	}
+	if words < 0 {
+		panic("netmodel: negative message size")
+	}
+	t := c.params.Topo
+	alpha, beta := c.params.Alpha, c.params.Beta
+	if t.SameNode(c.rank, src) {
+		alpha = t.intraAlpha(alpha)
+		beta = t.intraBeta(beta)
+	} else {
+		beta = t.sharedBeta(beta, c.effRailUsers()-1)
+	}
+	start := depart + alpha
+	if c.recvFree > start {
+		start = c.recvFree
+	}
+	done := start + float64(words)*beta
 	c.recvFree = done
 	c.advance(done)
 	c.recvWords += int64(words)
@@ -260,13 +447,18 @@ func (c *Clock) OverlapCompute(flops float64) {
 }
 
 // OverlapSleep charges a fixed duration of local work to the window's
-// compute track.
+// compute track. Straggler/jitter scaling applies exactly as for Sleep
+// — a slow rank's backward pass stretches, shrinking the window its
+// communication can hide under.
 func (c *Clock) OverlapSleep(seconds float64) {
 	if !c.inOverlap {
 		panic("netmodel: OverlapSleep outside an overlap window")
 	}
 	if seconds < 0 {
 		panic("netmodel: negative sleep")
+	}
+	if c.noisy {
+		seconds *= c.slowdown()
 	}
 	c.ovComp += seconds
 }
@@ -328,10 +520,12 @@ func (c *Clock) Snapshot() Stats {
 	}
 }
 
-// Reset zeroes time and counters but keeps the machine parameters.
+// Reset zeroes time and counters but keeps the machine parameters and
+// the clock's topology position (rank).
 func (c *Clock) Reset() {
-	p := c.params
-	*c = Clock{params: p}
+	p, r := c.params, c.rank
+	*c = Clock{params: p, rank: r}
+	c.deriveTopo()
 }
 
 // ClockState is the complete restorable state of a Clock — everything
@@ -351,6 +545,14 @@ type ClockState struct {
 	RecvWords int64
 	SentMsgs  int64
 	RecvMsgs  int64
+
+	// Topology state: the declared rail occupancy, the completion
+	// times of in-flight inter-node transfers (the backlog the sharing
+	// model prices), and the jitter step. All zero on the flat
+	// topology, so pre-topology checkpoints restore unchanged.
+	RailUsers int
+	OutSends  []float64
+	Step      int
 }
 
 // State captures the clock for a checkpoint. It must be called between
@@ -360,7 +562,7 @@ func (c *Clock) State() ClockState {
 	if c.inOverlap {
 		panic("netmodel: State inside an open overlap window")
 	}
-	return ClockState{
+	s := ClockState{
 		Time:      c.cpu,
 		SendFree:  c.sendFree,
 		RecvFree:  c.recvFree,
@@ -370,7 +572,13 @@ func (c *Clock) State() ClockState {
 		RecvWords: c.recvWords,
 		SentMsgs:  c.sentMsgs,
 		RecvMsgs:  c.recvMsgs,
+		RailUsers: c.railUsers,
+		Step:      c.step,
 	}
+	if len(c.outSends) > 0 {
+		s.OutSends = append([]float64(nil), c.outSends...)
+	}
+	return s
 }
 
 // SetState restores a checkpointed clock state, keeping the machine
@@ -388,6 +596,12 @@ func (c *Clock) SetState(s ClockState) {
 	c.recvWords = s.RecvWords
 	c.sentMsgs = s.SentMsgs
 	c.recvMsgs = s.RecvMsgs
+	c.railUsers = s.RailUsers
+	c.step = s.Step
+	c.outSends = c.outSends[:0]
+	if len(s.OutSends) > 0 {
+		c.outSends = append(c.outSends, s.OutSends...)
+	}
 }
 
 // Aggregate combines per-rank snapshots into cluster-level metrics: the

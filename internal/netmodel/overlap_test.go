@@ -99,6 +99,39 @@ func TestOverlapWindowConsistency(t *testing.T) {
 	}
 }
 
+// TestOverlapWindowConsistencyStraggler: the phase-sum identity must
+// survive straggler/jitter injection — the noise stretches the compute
+// track (shrinking the window communication can hide under) but every
+// stretched second still lands in exactly one phase bucket.
+func TestOverlapWindowConsistencyStraggler(t *testing.T) {
+	topo := Topology{StragglerFrac: 1, StragglerSlow: 3, Jitter: 0.25, Seed: 17}
+	for _, commWords := range []int{10, 100000000} {
+		p := Params{Alpha: 1e-6, Beta: 1e-9, Gamma: 1e-12, Topo: topo}
+		c := NewRankClock(p, 3)
+		c.SetStep(2)
+		c.SetPhase(PhaseCompute)
+		c.Sleep(0.3)
+		c.BeginOverlap()
+		c.OverlapSleep(0.05)
+		c.OverlapReady()
+		depart := c.StampSend(commWords)
+		c.StampRecv(depart, commWords)
+		c.OverlapSleep(0.05)
+		c.EndOverlap()
+		s := c.Snapshot()
+		sum := s.PhaseTime[0] + s.PhaseTime[1] + s.PhaseTime[2]
+		if !approxEq(sum, s.Time) {
+			t.Fatalf("words=%d: phase sum %v != wall time %v", commWords, sum, s.Time)
+		}
+		// The straggler actually slowed the run: 0.4 s of nominal local
+		// work must stretch by at least StragglerSlow on a full-injection
+		// topology.
+		if s.PhaseTime[PhaseCompute] < 0.4*topo.StragglerSlow {
+			t.Fatalf("straggler compute %v, want ≥ %v", s.PhaseTime[PhaseCompute], 0.4*topo.StragglerSlow)
+		}
+	}
+}
+
 // TestOverlapMisusePanics: the window API refuses nesting and orphan
 // calls.
 func TestOverlapMisusePanics(t *testing.T) {

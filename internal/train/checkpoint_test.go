@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"repro/internal/checkpoint"
-	"repro/internal/netmodel"
 )
 
 // TestCheckpointResumeMatchesContinuous: stopping at a τ′ boundary,
@@ -87,7 +86,7 @@ func TestCheckpointResumeModeledTime(t *testing.T) {
 		t.Fatalf("checkpoint SimSeconds %v, want %v", ck.SimSeconds, elapsed)
 	}
 	for r, rs := range ck.Ranks {
-		if rs.Clock == (netmodel.ClockState{}) {
+		if rs.Clock.Time == 0 && rs.Clock.SentMsgs == 0 {
 			t.Fatalf("rank %d clock state not captured", r)
 		}
 	}

@@ -63,6 +63,11 @@ func NewAlgorithm(name string, cfg allreduce.Config) allreduce.Algorithm {
 		return sparsecoll.NewGaussiank(cfg)
 	case "OkTopk":
 		return core.NewDefault(cfg)
+	case "Hierarchical":
+		// Node-aware dense baseline (not in the paper's seven): the
+		// two-level schedule the topo scenario runner compares against
+		// the flat collectives on non-uniform networks.
+		return allreduce.NewHierDense(cfg.NodeSize)
 	}
 	panic(fmt.Sprintf("train: unknown algorithm %q", name))
 }
@@ -93,6 +98,13 @@ type Config struct {
 	// disable.
 	Net         netmodel.Params
 	NoBetaScale bool
+
+	// Topology overlays a network topology (hierarchy, rail contention,
+	// straggler/jitter injection) on the machine constants; the zero
+	// value keeps the flat network. Kept separate from Net so it
+	// composes with the zero-Net default: it is merged into Net.Topo
+	// after default resolution.
+	Topology netmodel.Topology
 
 	// Wire selects the collective wire format: the default WireF64
 	// (8-byte values, the seed behavior) or WireF32 (float32 values
@@ -188,6 +200,9 @@ func NewDistributedSession(cfg Config) (*Session, error) {
 		cfg.Reduce = cfg.Reduce.Defaults()
 		cfg.Reduce.SortFlops *= ratio
 		cfg.Reduce.ScanFlops *= ratio
+	}
+	if cfg.Topology.Active() {
+		net.Topo = cfg.Topology
 	}
 	var c *cluster.Cluster
 	switch cfg.Transport {

@@ -231,6 +231,9 @@ func (tr *Trainer) drivePipeline(cm *cluster.Comm, ov allreduce.Overlapped, back
 // Step runs iteration t (1-based) collectively with all other ranks.
 func (tr *Trainer) Step(cm *cluster.Comm, t int, rng *rand.Rand) StepStats {
 	clk := cm.Clock()
+	// Key the topology's jitter draws to this iteration (a plain store
+	// with no effect on the flat network).
+	clk.SetStep(t)
 	before := clk.Snapshot()
 
 	// Forward + backward (real gradient) plus the modeled compute+I/O
